@@ -1,0 +1,202 @@
+//! Collective-communication cost models.
+//!
+//! LoongServe's elastic scaling decisions hinge on the *relative* cost of
+//! three kinds of communication:
+//!
+//! * **Tensor parallelism** all-reduces inside an elastic instance (twice per
+//!   transformer layer),
+//! * **Sequence parallelism** ring exchanges of key-value segments between
+//!   instances during the prefill phase (StripedAttention), and query/partial
+//!   result exchanges during distributed decoding,
+//! * **Key-value cache migration** between instances when a baseline (or the
+//!   optional decode scale-down) has to move state reactively.
+//!
+//! All of these are modelled with the standard alpha-beta (latency +
+//! size/bandwidth) formulation over the bottleneck link of the participating
+//! GPUs, which is the same approach used by NCCL performance models.
+
+use crate::gpu::LinkSpec;
+use serde::{Deserialize, Serialize};
+
+/// Cost model for collectives over a set of peers connected by a given
+/// bottleneck link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    /// The bottleneck link between any two participants.
+    pub link: LinkSpec,
+}
+
+impl CommModel {
+    /// Creates a communication model over the given bottleneck link.
+    pub fn new(link: LinkSpec) -> Self {
+        CommModel { link }
+    }
+
+    /// Time for a single point-to-point transfer of `bytes` bytes.
+    pub fn p2p(&self, bytes: f64) -> f64 {
+        self.link.transfer_time(bytes)
+    }
+
+    /// Time for a ring all-reduce of `bytes` bytes across `n` participants.
+    ///
+    /// The standard ring algorithm moves `2 (n-1) / n * bytes` per peer and
+    /// takes `2 (n-1)` latency-bound steps.
+    pub fn ring_allreduce(&self, bytes: f64, n: usize) -> f64 {
+        assert!(n >= 1, "all-reduce needs at least one participant");
+        if n == 1 || bytes == 0.0 {
+            return 0.0;
+        }
+        let steps = 2 * (n - 1);
+        let volume = 2.0 * (n as f64 - 1.0) / n as f64 * bytes;
+        steps as f64 * self.link.latency + volume / self.link.bandwidth
+    }
+
+    /// Time for a ring all-gather where each participant contributes
+    /// `bytes_per_rank` bytes.
+    pub fn ring_allgather(&self, bytes_per_rank: f64, n: usize) -> f64 {
+        assert!(n >= 1, "all-gather needs at least one participant");
+        if n == 1 || bytes_per_rank == 0.0 {
+            return 0.0;
+        }
+        let steps = n - 1;
+        let volume = (n as f64 - 1.0) * bytes_per_rank;
+        steps as f64 * self.link.latency + volume / self.link.bandwidth
+    }
+
+    /// Time for one step of the sequence-parallel ring: every instance sends
+    /// its current key-value segment of `bytes` bytes to its neighbour while
+    /// receiving the previous segment. Send and receive overlap, so the step
+    /// costs one latency plus one segment transfer.
+    pub fn ring_sendrecv_step(&self, bytes: f64) -> f64 {
+        if bytes == 0.0 {
+            return 0.0;
+        }
+        self.link.latency + bytes / self.link.bandwidth
+    }
+
+    /// Time for a broadcast of `bytes` from one rank to `n - 1` others using
+    /// a ring pipeline.
+    pub fn broadcast(&self, bytes: f64, n: usize) -> f64 {
+        assert!(n >= 1, "broadcast needs at least one participant");
+        if n == 1 || bytes == 0.0 {
+            return 0.0;
+        }
+        (n - 1) as f64 * self.link.latency + bytes / self.link.bandwidth
+    }
+
+    /// Time for a scatter/gather where a master exchanges `bytes_per_peer`
+    /// with each of `n - 1` peers sequentially over its single NIC/NVLink
+    /// port. This models the query scatter and partial-attention gather of
+    /// single-master distributed decoding.
+    pub fn master_exchange(&self, bytes_per_peer: f64, n: usize) -> f64 {
+        assert!(n >= 1, "exchange needs at least one participant");
+        if n == 1 || bytes_per_peer == 0.0 {
+            return 0.0;
+        }
+        let peers = (n - 1) as f64;
+        peers * (self.link.latency + bytes_per_peer / self.link.bandwidth)
+    }
+
+    /// Time to migrate `bytes` of key-value cache from one instance to
+    /// another (used by reactive-migration baselines and by the optional
+    /// decode scale-down path).
+    pub fn migrate(&self, bytes: f64) -> f64 {
+        self.p2p(bytes)
+    }
+}
+
+/// Summary of communication volume for accounting and reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommVolume {
+    /// Bytes moved by tensor-parallel all-reduces.
+    pub tp_allreduce_bytes: f64,
+    /// Bytes moved by sequence-parallel ring exchanges.
+    pub sp_ring_bytes: f64,
+    /// Bytes moved by explicit key-value migrations.
+    pub migration_bytes: f64,
+}
+
+impl CommVolume {
+    /// Total bytes moved across all categories.
+    pub fn total(&self) -> f64 {
+        self.tp_allreduce_bytes + self.sp_ring_bytes + self.migration_bytes
+    }
+
+    /// Accumulates another volume record into this one.
+    pub fn add(&mut self, other: &CommVolume) {
+        self.tp_allreduce_bytes += other.tp_allreduce_bytes;
+        self.sp_ring_bytes += other.sp_ring_bytes;
+        self.migration_bytes += other.migration_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GB;
+
+    fn nvlink_model() -> CommModel {
+        CommModel::new(LinkSpec::nvlink_a800())
+    }
+
+    #[test]
+    fn single_participant_collectives_are_free() {
+        let m = nvlink_model();
+        assert_eq!(m.ring_allreduce(1e9, 1), 0.0);
+        assert_eq!(m.ring_allgather(1e9, 1), 0.0);
+        assert_eq!(m.broadcast(1e9, 1), 0.0);
+        assert_eq!(m.master_exchange(1e9, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_volume_scales_with_participants() {
+        let m = nvlink_model();
+        let t2 = m.ring_allreduce(1.0 * GB, 2);
+        let t8 = m.ring_allreduce(1.0 * GB, 8);
+        // Per the 2(n-1)/n law, 8 ranks move 1.75x the bytes of 2 ranks.
+        assert!(t8 > t2);
+        assert!(t8 < 2.0 * t2);
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        let m = nvlink_model();
+        assert_eq!(m.ring_allreduce(0.0, 8), 0.0);
+        assert_eq!(m.ring_sendrecv_step(0.0), 0.0);
+        assert_eq!(m.p2p(0.0), 0.0);
+    }
+
+    #[test]
+    fn migration_of_large_kv_is_slow() {
+        // Migrating ~488 GB of KV cache (the paper's 1M-token example) over
+        // NVLink takes on the order of a second, far longer than a decode
+        // step — the motivation for proactive migration.
+        let m = nvlink_model();
+        let t = m.migrate(488.0 * GB);
+        assert!(t > 1.0, "expected >1s, got {t}");
+    }
+
+    #[test]
+    fn master_exchange_scales_with_peers() {
+        let m = nvlink_model();
+        let t2 = m.master_exchange(1e6, 2);
+        let t4 = m.master_exchange(1e6, 4);
+        assert!((t4 / t2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_volume_accumulates() {
+        let mut v = CommVolume::default();
+        v.add(&CommVolume {
+            tp_allreduce_bytes: 1.0,
+            sp_ring_bytes: 2.0,
+            migration_bytes: 3.0,
+        });
+        v.add(&CommVolume {
+            tp_allreduce_bytes: 1.0,
+            sp_ring_bytes: 2.0,
+            migration_bytes: 3.0,
+        });
+        assert_eq!(v.total(), 12.0);
+    }
+}

@@ -1,0 +1,845 @@
+//! The serving engine: a discrete-event simulation of one serving system.
+//!
+//! The engine owns everything a real serving frontend plus cluster would
+//! own — the request lifecycle, the elastic instances, the unified KV pool,
+//! and the clock — and delegates *policy* to a [`Scheduler`]. At every
+//! scheduling point (a request arrival while resources are idle, or an
+//! iteration/migration completing) it builds a [`SchedulerView`], executes
+//! the returned [`Action`]s through the ESP mechanisms, and advances the
+//! clock by the cost model's predicted iteration latencies.
+//!
+//! The same engine runs LoongServe and every baseline; only the scheduler
+//! and the tensor-parallel degree of the elastic instances differ.
+
+use loong_cluster::memory::MemoryBudget;
+use loong_cluster::topology::ClusterSpec;
+use loong_esp::decode::{execute_decode, DecodePlan};
+use loong_esp::group::EspGroup;
+use loong_esp::instance::InstanceRegistry;
+use loong_esp::prefill::{execute_prefill, PrefillPlan, PrefillRequest};
+use loong_esp::scaling::migrate_request;
+use loong_kvcache::placement::PlacementStrategy;
+use loong_kvcache::unified::UnifiedKvPool;
+use loong_metrics::record::RequestRecord;
+use loong_model::config::ModelConfig;
+use loong_model::roofline::{CostModel, ParallelConfig};
+use loong_model::sib::ScalingInfoBase;
+use loong_sched::types::{
+    Action, DecodingRequest, PendingRequest, ScalingEvent, Scheduler, SchedulerView,
+};
+use loong_simcore::events::EventQueue;
+use loong_simcore::ids::{GroupId, IdAllocator, InstanceId, RequestId};
+use loong_simcore::rng::SimRng;
+use loong_simcore::time::{SimDuration, SimTime};
+use loong_workload::request::Request;
+use loong_workload::trace::Trace;
+use std::collections::HashMap;
+
+/// Static configuration of a serving-engine run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Tensor-parallel degree of each elastic instance.
+    pub tp: usize,
+    /// The model being served.
+    pub model: ModelConfig,
+    /// Fraction of GPU memory reserved for activations and buffers.
+    pub workspace_fraction: f64,
+    /// Measurement noise injected when profiling the SIB.
+    pub sib_noise: f64,
+    /// Seed for all engine-internal randomness.
+    pub seed: u64,
+    /// Hard cap on simulated time; requests still in flight when it is
+    /// reached are dropped from the records. `None` means no cap.
+    pub max_sim_time: Option<SimDuration>,
+}
+
+impl EngineConfig {
+    /// The paper's single-node LoongServe configuration: 8 A800 GPUs, TP=2
+    /// (four elastic instances), serving LWM-1M-Text.
+    pub fn paper_single_node() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::single_node_a800(8),
+            tp: 2,
+            model: ModelConfig::lwm_1m_text(),
+            workspace_fraction: 0.10,
+            sib_noise: 0.01,
+            seed: 0x1005e,
+            max_sim_time: None,
+        }
+    }
+
+    /// KV slot capacity of one elastic instance under this configuration.
+    pub fn instance_kv_capacity(&self) -> u64 {
+        let budget = MemoryBudget::new(
+            &self.cluster.gpu,
+            self.model.weight_bytes_per_gpu(self.tp),
+            self.workspace_fraction,
+            self.model.kv_bytes_per_token_per_gpu(self.tp),
+        );
+        budget.kv_slot_capacity()
+    }
+}
+
+/// Per-request dynamic state inside the engine.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Waiting in the pending queue; `prefilled` prompt tokens already
+    /// processed by chunked-prefill iterations.
+    Pending { prefilled: u64 },
+    /// A full prefill iteration is in flight.
+    Prefilling,
+    /// In the decode phase, ready for the next iteration.
+    DecodeReady { generated: u64 },
+    /// A decode iteration is in flight.
+    Decoding { generated: u64 },
+    /// KV is being migrated between instances.
+    Migrating { generated: u64 },
+    /// All output tokens produced.
+    Finished,
+    /// Rejected by the scheduler.
+    Rejected,
+}
+
+#[derive(Debug, Clone)]
+struct RequestState {
+    request: Request,
+    phase: Phase,
+    prefill_start: Option<SimTime>,
+    first_token: Option<SimTime>,
+    finish: Option<SimTime>,
+    preemptions: u32,
+}
+
+/// Events driving the simulation.
+#[derive(Debug)]
+enum EngineEvent {
+    Arrival(RequestId),
+    WorkComplete(u64),
+}
+
+/// An iteration or migration in flight.
+#[derive(Debug)]
+enum Work {
+    Prefill {
+        instances: Vec<InstanceId>,
+        requests: Vec<RequestId>,
+    },
+    Decode {
+        instances: Vec<InstanceId>,
+        requests: Vec<RequestId>,
+    },
+    ChunkedPrefill {
+        instances: Vec<InstanceId>,
+        prefill_request: RequestId,
+        /// Prompt tokens processed once this iteration completes.
+        prefilled_after: u64,
+        decode_requests: Vec<RequestId>,
+    },
+    Migration {
+        request: RequestId,
+    },
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Completed requests with full lifecycle timestamps.
+    pub records: Vec<RequestRecord>,
+    /// Requests the scheduler rejected, with reasons.
+    pub rejected: Vec<(RequestId, String)>,
+    /// Requests neither finished nor rejected when the run ended (overload
+    /// or simulated-time cap).
+    pub unfinished: usize,
+    /// Scaling events reported by the scheduler.
+    pub scaling_events: Vec<ScalingEvent>,
+    /// Total simulated time of the run.
+    pub sim_time: SimTime,
+    /// Number of iterations executed (prefill + decode + chunked).
+    pub iterations: u64,
+    /// Bytes moved by explicit KV migrations.
+    pub migration_bytes: f64,
+    /// Wall-clock-free sanity counter: scheduler invocations.
+    pub scheduler_calls: u64,
+}
+
+/// The serving engine.
+pub struct ServingEngine {
+    config: EngineConfig,
+    registry: InstanceRegistry,
+    cost_model: CostModel,
+    sib: ScalingInfoBase,
+    scheduler: Box<dyn Scheduler>,
+}
+
+impl ServingEngine {
+    /// Builds an engine for the given configuration and scheduling policy.
+    ///
+    /// The SIB is profiled immediately (as the real system does offline)
+    /// over the parallel configurations reachable with the configured
+    /// tensor-parallel degree.
+    pub fn new(config: EngineConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        config.cluster.validate().expect("valid cluster");
+        config.model.validate().expect("valid model");
+        let registry = InstanceRegistry::build(&config.cluster, config.tp);
+        let cost_model = CostModel::new(config.model.clone()).with_gpu(config.cluster.gpu.clone());
+        let mut rng = SimRng::seed(config.seed);
+        let configs: Vec<ParallelConfig> = (1..=registry.num_instances())
+            .map(|sp| ParallelConfig::new(config.tp, sp))
+            .collect();
+        let sib = ScalingInfoBase::profile(
+            &cost_model,
+            &configs,
+            config.cluster.intra_node_link,
+            config.sib_noise,
+            &mut rng,
+        );
+        ServingEngine {
+            config,
+            registry,
+            cost_model,
+            sib,
+            scheduler,
+        }
+    }
+
+    /// The instance registry used by this engine.
+    pub fn registry(&self) -> &InstanceRegistry {
+        &self.registry
+    }
+
+    /// The scheduler's report label.
+    pub fn scheduler_name(&self) -> String {
+        self.scheduler.name()
+    }
+
+    /// Runs the engine over a trace and returns the outcome.
+    pub fn run(&mut self, trace: &Trace) -> RunOutcome {
+        let capacity = self.config.instance_kv_capacity();
+        let mut pool = UnifiedKvPool::new(self.registry.num_instances(), capacity);
+        let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+        let mut states: HashMap<RequestId, RequestState> = HashMap::new();
+        for req in &trace.requests {
+            states.insert(
+                req.id,
+                RequestState {
+                    request: req.clone(),
+                    phase: Phase::Pending { prefilled: 0 },
+                    prefill_start: None,
+                    first_token: None,
+                    finish: None,
+                    preemptions: 0,
+                },
+            );
+            queue.push(req.arrival, EngineEvent::Arrival(req.id));
+        }
+        // Requests become visible to the scheduler only after their arrival
+        // event fires.
+        let mut arrived: Vec<RequestId> = Vec::new();
+        let mut busy_until: HashMap<InstanceId, SimTime> = HashMap::new();
+        let mut in_flight: HashMap<u64, Work> = HashMap::new();
+        let mut work_ids = IdAllocator::<RequestId>::new();
+        let mut group_ids = IdAllocator::<GroupId>::new();
+        let mut rejected: Vec<(RequestId, String)> = Vec::new();
+        let mut iterations = 0u64;
+        let mut migration_bytes = 0.0f64;
+        let mut scheduler_calls = 0u64;
+        let mut finished_decode_latencies: Vec<f64> = Vec::new();
+
+        let deadline = self.config.max_sim_time.map(|d| SimTime::ZERO + d);
+
+        while !queue.is_empty() {
+            let batch = queue.pop_simultaneous();
+            let now = queue.now();
+            if let Some(deadline) = deadline {
+                if now > deadline {
+                    break;
+                }
+            }
+            for ev in batch {
+                match ev.payload {
+                    EngineEvent::Arrival(id) => arrived.push(id),
+                    EngineEvent::WorkComplete(work_id) => {
+                        let work = in_flight.remove(&work_id).expect("unknown work id");
+                        Self::complete_work(
+                            work,
+                            now,
+                            &mut states,
+                            &mut pool,
+                            &mut busy_until,
+                            &mut finished_decode_latencies,
+                        );
+                    }
+                }
+            }
+
+            // Scheduling point.
+            let idle: Vec<InstanceId> = self
+                .registry
+                .all_ids()
+                .into_iter()
+                .filter(|i| busy_until.get(i).map(|&t| t <= now).unwrap_or(true))
+                .collect();
+            let busy: Vec<(InstanceId, SimTime)> = busy_until
+                .iter()
+                .filter(|(_, &t)| t > now)
+                .map(|(&i, &t)| (i, t))
+                .collect();
+
+            let pending: Vec<PendingRequest> = arrived
+                .iter()
+                .filter_map(|id| {
+                    let s = states.get(id)?;
+                    match s.phase {
+                        Phase::Pending { prefilled } => Some(PendingRequest {
+                            id: *id,
+                            arrival: s.request.arrival,
+                            input_len: s.request.input_len,
+                            prefilled_len: prefilled,
+                            max_output_len: s.request.max_output_len,
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect();
+            let decoding: Vec<DecodingRequest> = arrived
+                .iter()
+                .filter_map(|id| {
+                    let s = states.get(id)?;
+                    match s.phase {
+                        Phase::DecodeReady { generated } => Some(DecodingRequest {
+                            id: *id,
+                            context_len: s.request.input_len + generated,
+                            generated,
+                            decode_time_s: s
+                                .first_token
+                                .map(|ft| now.saturating_since(ft).as_secs())
+                                .unwrap_or(0.0),
+                            kv_instances: pool
+                                .locations_of(*id)
+                                .into_iter()
+                                .map(|(i, _)| i)
+                                .collect(),
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect();
+
+            let avg_decode_latency_s = if finished_decode_latencies.is_empty() {
+                0.0
+            } else {
+                finished_decode_latencies.iter().sum::<f64>()
+                    / finished_decode_latencies.len() as f64
+            };
+
+            let actions = {
+                let view = SchedulerView {
+                    now,
+                    pending: &pending,
+                    decoding: &decoding,
+                    idle_instances: &idle,
+                    busy_instances: &busy,
+                    pool: &pool,
+                    registry: &self.registry,
+                    cost_model: &self.cost_model,
+                    sib: &self.sib,
+                    avg_decode_latency_s,
+                };
+                scheduler_calls += 1;
+                self.scheduler.schedule(&view)
+            };
+
+            let mut claimed: Vec<InstanceId> = Vec::new();
+            for action in actions {
+                match action {
+                    Action::Reject { request, reason } => {
+                        if let Some(s) = states.get_mut(&request) {
+                            if matches!(s.phase, Phase::Pending { .. }) {
+                                s.phase = Phase::Rejected;
+                                rejected.push((request, reason));
+                            }
+                        }
+                    }
+                    Action::Prefill {
+                        instances,
+                        requests,
+                        retain_on,
+                    } => {
+                        if instances
+                            .iter()
+                            .any(|i| claimed.contains(i) || !idle.contains(i))
+                        {
+                            continue;
+                        }
+                        let prefill_reqs: Vec<PrefillRequest> = requests
+                            .iter()
+                            .filter_map(|id| {
+                                let s = states.get(id)?;
+                                matches!(s.phase, Phase::Pending { .. }).then(|| PrefillRequest {
+                                    id: *id,
+                                    input_len: s.request.input_len,
+                                })
+                            })
+                            .collect();
+                        if prefill_reqs.is_empty() {
+                            continue;
+                        }
+                        let group = EspGroup::new(group_ids.next(), instances.clone());
+                        let plan = match PrefillPlan::build(group, prefill_reqs, retain_on, &pool) {
+                            Ok(plan) => plan,
+                            Err(_) => continue,
+                        };
+                        let outcome = match execute_prefill(
+                            &plan,
+                            &self.cost_model,
+                            &self.registry,
+                            &mut pool,
+                        ) {
+                            Ok(o) => o,
+                            Err(_) => continue,
+                        };
+                        iterations += 1;
+                        let done = now + SimDuration::from_secs(outcome.cost.total());
+                        for &inst in &instances {
+                            busy_until.insert(inst, done);
+                            claimed.push(inst);
+                        }
+                        for id in &requests {
+                            if let Some(s) = states.get_mut(id) {
+                                s.phase = Phase::Prefilling;
+                                s.prefill_start.get_or_insert(now);
+                            }
+                        }
+                        let wid = work_ids.next().raw();
+                        in_flight.insert(
+                            wid,
+                            Work::Prefill {
+                                instances,
+                                requests,
+                            },
+                        );
+                        queue.push(done, EngineEvent::WorkComplete(wid));
+                    }
+                    Action::Decode {
+                        instances,
+                        masters,
+                        requests,
+                    } => {
+                        if instances
+                            .iter()
+                            .any(|i| claimed.contains(i) || !idle.contains(i))
+                        {
+                            continue;
+                        }
+                        let batch: Vec<(RequestId, u64)> = requests
+                            .iter()
+                            .filter_map(|id| {
+                                let s = states.get(id)?;
+                                match s.phase {
+                                    Phase::DecodeReady { generated } => {
+                                        Some((*id, s.request.input_len + generated))
+                                    }
+                                    _ => None,
+                                }
+                            })
+                            .collect();
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        let group =
+                            EspGroup::with_masters(group_ids.next(), instances.clone(), masters);
+                        let plan = match DecodePlan::build(group, &batch, &pool) {
+                            Ok(plan) => plan,
+                            Err(_) => continue,
+                        };
+                        let outcome = match execute_decode(
+                            &plan,
+                            &self.cost_model,
+                            &self.registry,
+                            &mut pool,
+                        ) {
+                            Ok(o) => o,
+                            Err(_) => continue,
+                        };
+                        iterations += 1;
+                        let done = now + SimDuration::from_secs(outcome.cost.total());
+                        for &inst in &instances {
+                            busy_until.insert(inst, done);
+                            claimed.push(inst);
+                        }
+                        let batch_ids: Vec<RequestId> = batch.iter().map(|(id, _)| *id).collect();
+                        for id in &batch_ids {
+                            if let Some(s) = states.get_mut(id) {
+                                if let Phase::DecodeReady { generated } = s.phase {
+                                    s.phase = Phase::Decoding { generated };
+                                }
+                            }
+                        }
+                        let wid = work_ids.next().raw();
+                        in_flight.insert(
+                            wid,
+                            Work::Decode {
+                                instances,
+                                requests: batch_ids,
+                            },
+                        );
+                        queue.push(done, EngineEvent::WorkComplete(wid));
+                    }
+                    Action::ChunkedPrefill {
+                        instances,
+                        prefill_request,
+                        chunk_tokens,
+                        decode_requests,
+                    } => {
+                        if instances
+                            .iter()
+                            .any(|i| claimed.contains(i) || !idle.contains(i))
+                        {
+                            continue;
+                        }
+                        let Some(state) = states.get(&prefill_request) else {
+                            continue;
+                        };
+                        let Phase::Pending { prefilled } = state.phase else {
+                            continue;
+                        };
+                        let chunk = chunk_tokens.min(state.request.input_len - prefilled);
+                        if chunk == 0 {
+                            continue;
+                        }
+                        // Reserve KV for the chunk on the executing instances.
+                        let Some(placement) = pool.plan(
+                            prefill_request,
+                            chunk,
+                            &instances,
+                            PlacementStrategy::PackMostFree,
+                        ) else {
+                            continue;
+                        };
+                        if pool.commit(&placement).is_err() {
+                            continue;
+                        }
+                        let decode_batch: Vec<(RequestId, u64)> = decode_requests
+                            .iter()
+                            .filter_map(|id| {
+                                let s = states.get(id)?;
+                                match s.phase {
+                                    Phase::DecodeReady { generated } => {
+                                        Some((*id, s.request.input_len + generated))
+                                    }
+                                    _ => None,
+                                }
+                            })
+                            .collect();
+                        let decode_lens: Vec<u64> = decode_batch.iter().map(|(_, l)| *l).collect();
+                        // Append the decode tokens on the first instance.
+                        let master = instances[0];
+                        let mut decode_ok: Vec<RequestId> = Vec::new();
+                        for (id, _) in &decode_batch {
+                            if pool.append(*id, master, 1).is_ok() {
+                                decode_ok.push(*id);
+                            }
+                        }
+                        let parallel = ParallelConfig::new(self.registry.tp(), instances.len());
+                        let link = self.registry.link_between(&instances);
+                        let cost = self.cost_model.chunked_prefill_cost(
+                            chunk,
+                            prefilled,
+                            &decode_lens,
+                            parallel,
+                            link,
+                        );
+                        iterations += 1;
+                        let done = now + SimDuration::from_secs(cost.total());
+                        for &inst in &instances {
+                            busy_until.insert(inst, done);
+                            claimed.push(inst);
+                        }
+                        if let Some(s) = states.get_mut(&prefill_request) {
+                            s.prefill_start.get_or_insert(now);
+                            s.phase = Phase::Prefilling;
+                        }
+                        for id in &decode_ok {
+                            if let Some(s) = states.get_mut(id) {
+                                if let Phase::DecodeReady { generated } = s.phase {
+                                    s.phase = Phase::Decoding { generated };
+                                }
+                            }
+                        }
+                        let wid = work_ids.next().raw();
+                        in_flight.insert(
+                            wid,
+                            Work::ChunkedPrefill {
+                                instances,
+                                prefill_request,
+                                prefilled_after: prefilled + chunk,
+                                decode_requests: decode_ok,
+                            },
+                        );
+                        queue.push(done, EngineEvent::WorkComplete(wid));
+                    }
+                    Action::Migrate { request, targets } => {
+                        let Some(state) = states.get_mut(&request) else {
+                            continue;
+                        };
+                        let generated = match state.phase {
+                            Phase::DecodeReady { generated } => generated,
+                            _ => continue,
+                        };
+                        match migrate_request(
+                            request,
+                            &targets,
+                            &mut pool,
+                            &self.cost_model,
+                            &self.registry,
+                        ) {
+                            Ok(summary) => {
+                                migration_bytes += summary.total_bytes;
+                                state.phase = Phase::Migrating { generated };
+                                state.preemptions += 1;
+                                let done = now + SimDuration::from_secs(summary.time_s.max(1e-6));
+                                let wid = work_ids.next().raw();
+                                in_flight.insert(wid, Work::Migration { request });
+                                queue.push(done, EngineEvent::WorkComplete(wid));
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                }
+            }
+        }
+
+        let sim_time = queue.now();
+        let mut records = Vec::new();
+        let mut unfinished = 0usize;
+        for (_, s) in states {
+            match s.phase {
+                Phase::Finished => {
+                    records.push(RequestRecord {
+                        id: s.request.id,
+                        arrival: s.request.arrival,
+                        input_len: s.request.input_len,
+                        output_len: s.request.output_len,
+                        prefill_start: s.prefill_start.expect("finished requests started prefill"),
+                        first_token: s
+                            .first_token
+                            .expect("finished requests produced a first token"),
+                        finish: s.finish.expect("finished requests finished"),
+                        preemptions: s.preemptions,
+                    });
+                }
+                Phase::Rejected => {}
+                _ => unfinished += 1,
+            }
+        }
+        records.sort_by_key(|r| r.id);
+
+        RunOutcome {
+            records,
+            rejected,
+            unfinished,
+            scaling_events: self.scheduler.scaling_events().to_vec(),
+            sim_time,
+            iterations,
+            migration_bytes,
+            scheduler_calls,
+        }
+    }
+
+    /// Applies the effects of a completed piece of work.
+    fn complete_work(
+        work: Work,
+        now: SimTime,
+        states: &mut HashMap<RequestId, RequestState>,
+        pool: &mut UnifiedKvPool,
+        busy_until: &mut HashMap<InstanceId, SimTime>,
+        finished_decode_latencies: &mut Vec<f64>,
+    ) {
+        match work {
+            Work::Prefill {
+                instances,
+                requests,
+            } => {
+                for inst in instances {
+                    busy_until.remove(&inst);
+                }
+                for id in requests {
+                    let s = states.get_mut(&id).expect("known request");
+                    s.first_token.get_or_insert(now);
+                    // The prefill produced the first output token.
+                    if s.request.output_len <= 1 {
+                        Self::finish_request(s, id, now, pool, finished_decode_latencies);
+                    } else {
+                        s.phase = Phase::DecodeReady { generated: 1 };
+                    }
+                }
+            }
+            Work::Decode {
+                instances,
+                requests,
+            } => {
+                for inst in instances {
+                    busy_until.remove(&inst);
+                }
+                for id in requests {
+                    let s = states.get_mut(&id).expect("known request");
+                    if let Phase::Decoding { generated } = s.phase {
+                        let generated = generated + 1;
+                        if generated >= s.request.output_len {
+                            Self::finish_request(s, id, now, pool, finished_decode_latencies);
+                        } else {
+                            s.phase = Phase::DecodeReady { generated };
+                        }
+                    }
+                }
+            }
+            Work::ChunkedPrefill {
+                instances,
+                prefill_request,
+                prefilled_after,
+                decode_requests,
+            } => {
+                for inst in instances {
+                    busy_until.remove(&inst);
+                }
+                let s = states.get_mut(&prefill_request).expect("known request");
+                // Advance the prompt; if it is done, the first token is out.
+                let prefilled = prefilled_after.min(s.request.input_len);
+                if prefilled >= s.request.input_len {
+                    s.first_token.get_or_insert(now);
+                    if s.request.output_len <= 1 {
+                        Self::finish_request(
+                            s,
+                            prefill_request,
+                            now,
+                            pool,
+                            finished_decode_latencies,
+                        );
+                    } else {
+                        s.phase = Phase::DecodeReady { generated: 1 };
+                    }
+                } else {
+                    s.phase = Phase::Pending { prefilled };
+                }
+                for id in decode_requests {
+                    let s = states.get_mut(&id).expect("known request");
+                    if let Phase::Decoding { generated } = s.phase {
+                        let generated = generated + 1;
+                        if generated >= s.request.output_len {
+                            Self::finish_request(s, id, now, pool, finished_decode_latencies);
+                        } else {
+                            s.phase = Phase::DecodeReady { generated };
+                        }
+                    }
+                }
+            }
+            Work::Migration { request } => {
+                let s = states.get_mut(&request).expect("known request");
+                if let Phase::Migrating { generated } = s.phase {
+                    s.phase = Phase::DecodeReady { generated };
+                }
+            }
+        }
+    }
+
+    fn finish_request(
+        state: &mut RequestState,
+        id: RequestId,
+        now: SimTime,
+        pool: &mut UnifiedKvPool,
+        finished_decode_latencies: &mut Vec<f64>,
+    ) {
+        state.phase = Phase::Finished;
+        state.finish = Some(now);
+        if let Some(ft) = state.first_token {
+            finished_decode_latencies.push(now.saturating_since(ft).as_secs());
+        }
+        pool.release(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::SystemKind;
+    use loong_workload::arrival::ArrivalProcess;
+    use loong_workload::datasets::DatasetKind;
+
+    fn small_trace(rate: f64, count: usize, seed: u64) -> Trace {
+        let mut rng = SimRng::seed(seed);
+        Trace::generate(DatasetKind::ShareGpt, ArrivalProcess::Poisson { rate }, count, &mut rng)
+    }
+
+    fn engine_for(kind: SystemKind) -> ServingEngine {
+        let config = EngineConfig::paper_single_node();
+        let tp = kind.tp(config.cluster.gpus_per_node);
+        let config = EngineConfig { tp, ..config };
+        let registry = InstanceRegistry::build(&config.cluster, tp);
+        let scheduler = kind.build_scheduler(&registry.all_ids(), None);
+        ServingEngine::new(config, scheduler)
+    }
+
+    #[test]
+    fn instance_kv_capacity_is_plausible_for_lwm_on_a800() {
+        let config = EngineConfig::paper_single_node();
+        let capacity = config.instance_kv_capacity();
+        // Two 80 GB GPUs minus weights and workspace at 256 KiB/token/GPU:
+        // a few hundred thousand tokens.
+        assert!(capacity > 150_000 && capacity < 400_000, "capacity {capacity}");
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let mut engine = engine_for(SystemKind::LoongServe);
+        let outcome = engine.run(&Trace::from_requests("empty", vec![]));
+        assert!(outcome.records.is_empty());
+        assert_eq!(outcome.unfinished, 0);
+        assert_eq!(outcome.iterations, 0);
+    }
+
+    #[test]
+    fn single_request_lifecycle_timestamps_are_ordered() {
+        let mut engine = engine_for(SystemKind::LoongServe);
+        let request = Request::new(RequestId(0), SimTime::from_secs(1.0), 5_000, 20);
+        let outcome = engine.run(&Trace::from_requests("single", vec![request]));
+        assert_eq!(outcome.records.len(), 1);
+        let r = &outcome.records[0];
+        assert!(r.validate().is_ok());
+        assert!(r.prefill_start >= SimTime::from_secs(1.0));
+        assert!(r.first_token > r.prefill_start);
+        assert!(r.finish > r.first_token);
+        // 20 output tokens need 19 decode iterations plus the prefill.
+        assert_eq!(outcome.iterations, 20);
+    }
+
+    #[test]
+    fn scheduler_name_is_exposed() {
+        let engine = engine_for(SystemKind::Vllm);
+        assert!(engine.scheduler_name().contains("vLLM"));
+        assert_eq!(engine.registry().num_instances(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_share_the_cluster() {
+        let mut engine = engine_for(SystemKind::LoongServe);
+        let trace = small_trace(10.0, 30, 5);
+        let outcome = engine.run(&trace);
+        assert_eq!(outcome.records.len() + outcome.unfinished + outcome.rejected.len(), 30);
+        assert!(outcome.records.len() >= 28, "almost all short requests should finish");
+        assert!(outcome.scheduler_calls > 0);
+        assert!(outcome.sim_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn identical_engines_produce_identical_outcomes() {
+        let trace = small_trace(5.0, 20, 9);
+        let mut a = engine_for(SystemKind::LoongServe);
+        let mut b = engine_for(SystemKind::LoongServe);
+        let oa = a.run(&trace);
+        let ob = b.run(&trace);
+        assert_eq!(oa.records, ob.records);
+        assert_eq!(oa.iterations, ob.iterations);
+    }
+}

@@ -1,0 +1,194 @@
+//! The serving systems under comparison.
+//!
+//! A [`SystemKind`] bundles a scheduling policy with the parallelism shape
+//! it requires (the tensor-parallel degree of the elastic instances), so a
+//! single call can build the exact configuration the paper evaluates:
+//! LoongServe with TP=2 and up to ESP=4 on one node, vLLM with TP=8,
+//! DistServe with two TP=4 halves, and so on.
+
+use crate::engine::{EngineConfig, RunOutcome, ServingEngine};
+use loong_cluster::topology::ClusterSpec;
+use loong_metrics::slo::SloSpec;
+use loong_metrics::summary::RunSummary;
+use loong_model::config::ModelConfig;
+use loong_sched::baselines::{
+    DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler, StaticHybridScheduler,
+};
+use loong_sched::manager::{LoongServeConfig, LoongServeScheduler};
+use loong_sched::types::Scheduler;
+use loong_simcore::ids::InstanceId;
+use loong_workload::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The serving systems reproduced from the paper's evaluation (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// LoongServe with elastic sequence parallelism (TP=2, ESP up to the
+    /// instance count).
+    LoongServe,
+    /// LoongServe with elastic scale-up disabled (the Figure 13a ablation).
+    LoongServeNoScaleUp,
+    /// vLLM-style static tensor parallelism over the whole node (TP=8).
+    Vllm,
+    /// DeepSpeed-MII with Dynamic SplitFuse chunked prefill (TP=8).
+    DeepSpeedMii,
+    /// LightLLM with SplitFuse and a workload-tuned chunk size (TP=8).
+    LightLlmSplitFuse,
+    /// DistServe-style prefill–decode disaggregation (two TP=4 halves).
+    DistServe,
+    /// Static hybrid parallelism: TP=2 with a fixed SP over all instances
+    /// (the "w/o ESP (TP=2, SP=4)" ablation).
+    StaticHybrid,
+    /// Four independent TP=2 replicas (the "w/o ESP (TP=2) x 4" ablation).
+    Replicated,
+}
+
+impl SystemKind {
+    /// All systems compared in Figure 10.
+    pub fn figure10_systems() -> Vec<SystemKind> {
+        vec![
+            SystemKind::LoongServe,
+            SystemKind::Vllm,
+            SystemKind::DeepSpeedMii,
+            SystemKind::LightLlmSplitFuse,
+            SystemKind::DistServe,
+        ]
+    }
+
+    /// The parallelism ablations compared in Figure 12.
+    pub fn figure12_systems() -> Vec<SystemKind> {
+        vec![
+            SystemKind::LoongServe,
+            SystemKind::Vllm,
+            SystemKind::StaticHybrid,
+            SystemKind::Replicated,
+        ]
+    }
+
+    /// The report label, matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::LoongServe => "LoongServe",
+            SystemKind::LoongServeNoScaleUp => "LoongServe w/o Elastic Scale-up",
+            SystemKind::Vllm => "vLLM (TP=8)",
+            SystemKind::DeepSpeedMii => "DeepSpeed-MII (Dynamic SplitFuse)",
+            SystemKind::LightLlmSplitFuse => "LightLLM w/ SplitFuse",
+            SystemKind::DistServe => "DistServe (Prefill-Decoding Disaggregation)",
+            SystemKind::StaticHybrid => "LoongServe w/o ESP (TP=2, SP=4)",
+            SystemKind::Replicated => "LoongServe w/o ESP (TP=2) x 4",
+        }
+    }
+
+    /// The tensor-parallel degree of each elastic instance for this system
+    /// on a node with `gpus_per_node` GPUs.
+    pub fn tp(&self, gpus_per_node: usize) -> usize {
+        match self {
+            SystemKind::LoongServe
+            | SystemKind::LoongServeNoScaleUp
+            | SystemKind::StaticHybrid
+            | SystemKind::Replicated => 2,
+            SystemKind::Vllm | SystemKind::DeepSpeedMii | SystemKind::LightLlmSplitFuse => {
+                gpus_per_node
+            }
+            SystemKind::DistServe => (gpus_per_node / 2).max(1),
+        }
+    }
+
+    /// Builds the scheduler for this system. `trace` supplies workload
+    /// statistics for policies that tune themselves per dataset (the
+    /// SplitFuse chunk size, per §7.1).
+    pub fn build_scheduler(
+        &self,
+        instances: &[InstanceId],
+        trace: Option<&Trace>,
+    ) -> Box<dyn Scheduler> {
+        match self {
+            SystemKind::LoongServe => Box::new(LoongServeScheduler::new()),
+            SystemKind::LoongServeNoScaleUp => {
+                Box::new(LoongServeScheduler::with_config(LoongServeConfig {
+                    enable_scale_up: false,
+                    enable_proactive_scale_down: true,
+                }))
+            }
+            SystemKind::Vllm => Box::new(IndependentInstancesScheduler::vllm()),
+            SystemKind::DeepSpeedMii => Box::new(SplitFuseScheduler::deepspeed_mii()),
+            SystemKind::LightLlmSplitFuse => {
+                let (mean_in, mean_out) = trace
+                    .map(|t| {
+                        let s = t.stats();
+                        (s.mean_input_len.max(1.0), s.mean_output_len.max(1.0))
+                    })
+                    .unwrap_or((8_192.0, 256.0));
+                Box::new(SplitFuseScheduler::lightllm_for_workload(mean_in, mean_out))
+            }
+            SystemKind::DistServe => Box::new(DistServeScheduler::from_instances(instances)),
+            SystemKind::StaticHybrid => Box::new(StaticHybridScheduler::new()),
+            SystemKind::Replicated => Box::new(IndependentInstancesScheduler::replicated()),
+        }
+    }
+}
+
+/// A fully specified experiment: system + cluster + model.
+#[derive(Debug, Clone)]
+pub struct SystemUnderTest {
+    /// Which system to run.
+    pub kind: SystemKind,
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// The model being served.
+    pub model: ModelConfig,
+    /// Seed for the engine's internal randomness.
+    pub seed: u64,
+}
+
+impl SystemUnderTest {
+    /// The paper's single-node testbed for a given system.
+    pub fn paper_single_node(kind: SystemKind) -> Self {
+        SystemUnderTest {
+            kind,
+            cluster: ClusterSpec::single_node_a800(8),
+            model: ModelConfig::lwm_1m_text(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// The paper's two-node testbed (Figure 11) for a given system.
+    pub fn paper_two_node(kind: SystemKind) -> Self {
+        SystemUnderTest {
+            cluster: ClusterSpec::two_node_a800(),
+            ..Self::paper_single_node(kind)
+        }
+    }
+
+    /// Builds the serving engine for this system.
+    pub fn build_engine(&self, trace: Option<&Trace>) -> ServingEngine {
+        let tp = self.kind.tp(self.cluster.gpus_per_node);
+        let config = EngineConfig {
+            cluster: self.cluster.clone(),
+            tp,
+            model: self.model.clone(),
+            workspace_fraction: 0.10,
+            sib_noise: 0.01,
+            seed: self.seed,
+            max_sim_time: None,
+        };
+        // The scheduler needs the instance list, which depends on tp.
+        let registry = loong_esp::instance::InstanceRegistry::build(&self.cluster, tp);
+        let scheduler = self.kind.build_scheduler(&registry.all_ids(), trace);
+        ServingEngine::new(config, scheduler)
+    }
+
+    /// Runs this system over a trace and summarises the outcome.
+    pub fn run(&self, trace: &Trace, request_rate: f64, slo: &SloSpec) -> (RunSummary, RunOutcome) {
+        let mut engine = self.build_engine(Some(trace));
+        let outcome = engine.run(trace);
+        let summary = RunSummary::from_records(
+            self.kind.label(),
+            trace.label.clone(),
+            request_rate,
+            &outcome.records,
+            slo,
+        );
+        (summary, outcome)
+    }
+}

@@ -1,0 +1,263 @@
+//! ESP parallel groups and elastic scaling actions.
+//!
+//! A parallel group is a set of elastic instances that jointly execute one
+//! batch with sequence parallelism; the number of instances in the group is
+//! the batch's degree of parallelism (DoP). The global manager reshapes
+//! groups between iterations: scaling a prefill group *down* as it enters
+//! the decoding phase (proactively, §4.1), scaling a decoding group *up*
+//! when it runs out of memory or becomes compute-bound (§4.2), and
+//! optionally scaling a decoding group down with explicit migration when
+//! the resources are more valuable elsewhere (§5.4).
+
+use crate::instance::InstanceRegistry;
+use loong_model::roofline::ParallelConfig;
+use loong_simcore::ids::{GroupId, InstanceId};
+use serde::{Deserialize, Serialize};
+
+/// A set of elastic instances executing one batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EspGroup {
+    /// Group identifier.
+    pub id: GroupId,
+    /// Member instances (unique, order defines the SP ring order).
+    pub instances: Vec<InstanceId>,
+    /// Master instances for distributed decoding (subset of `instances`).
+    /// During prefill this is ignored.
+    pub masters: Vec<InstanceId>,
+}
+
+impl EspGroup {
+    /// Creates a group over the given instances with every instance acting
+    /// as a master (the common multi-master configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or contains duplicates.
+    pub fn new(id: GroupId, instances: Vec<InstanceId>) -> Self {
+        let masters = instances.clone();
+        Self::with_masters(id, instances, masters)
+    }
+
+    /// Creates a group with an explicit master set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or has duplicates, or `masters` is
+    /// empty or not a subset of `instances`.
+    pub fn with_masters(id: GroupId, instances: Vec<InstanceId>, masters: Vec<InstanceId>) -> Self {
+        assert!(
+            !instances.is_empty(),
+            "a parallel group needs at least one instance"
+        );
+        let mut dedup = instances.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), instances.len(), "duplicate instances in group");
+        assert!(
+            !masters.is_empty(),
+            "a parallel group needs at least one master"
+        );
+        assert!(
+            masters.iter().all(|m| instances.contains(m)),
+            "masters must be members of the group"
+        );
+        EspGroup {
+            id,
+            instances,
+            masters,
+        }
+    }
+
+    /// The degree of parallelism (number of member instances).
+    pub fn dop(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of master instances.
+    pub fn num_masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// The parallel configuration of this group given the registry's
+    /// tensor-parallel degree.
+    pub fn parallel_config(&self, registry: &InstanceRegistry) -> ParallelConfig {
+        ParallelConfig::new(registry.tp(), self.dop())
+    }
+
+    /// Returns true if the instance is a member of the group.
+    pub fn contains(&self, instance: InstanceId) -> bool {
+        self.instances.contains(&instance)
+    }
+
+    /// Returns true if the instance is a master of the group.
+    pub fn is_master(&self, instance: InstanceId) -> bool {
+        self.masters.contains(&instance)
+    }
+}
+
+/// An elastic scaling action applied to a group between iterations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingAction {
+    /// Shrink the group to `retain`, a subset of the current members. When
+    /// folded into the prefill phase this is the zero-overhead proactive
+    /// scale-down; applied to a decode group it requires migrating the KV
+    /// held by the departing instances.
+    ScaleDown {
+        /// Instances that remain in the group.
+        retain: Vec<InstanceId>,
+    },
+    /// Grow the group by `added` instances. No KV moves: existing tokens
+    /// stay where they are and new instances contribute fresh capacity and
+    /// compute (multi-master decoding).
+    ScaleUp {
+        /// Instances joining the group.
+        added: Vec<InstanceId>,
+    },
+    /// Change which members act as masters without changing membership.
+    Remaster {
+        /// The new master set.
+        masters: Vec<InstanceId>,
+    },
+}
+
+impl ScalingAction {
+    /// Applies the action to a group, returning the reshaped group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is inconsistent with the group (retaining
+    /// non-members, adding existing members, or remastering to non-members).
+    pub fn apply(&self, group: &EspGroup) -> EspGroup {
+        match self {
+            ScalingAction::ScaleDown { retain } => {
+                assert!(
+                    !retain.is_empty(),
+                    "cannot scale a group down to zero instances"
+                );
+                assert!(
+                    retain.iter().all(|i| group.contains(*i)),
+                    "scale-down retains instances that are not members"
+                );
+                let masters: Vec<InstanceId> = group
+                    .masters
+                    .iter()
+                    .copied()
+                    .filter(|m| retain.contains(m))
+                    .collect();
+                let masters = if masters.is_empty() {
+                    vec![retain[0]]
+                } else {
+                    masters
+                };
+                EspGroup::with_masters(group.id, retain.clone(), masters)
+            }
+            ScalingAction::ScaleUp { added } => {
+                assert!(
+                    added.iter().all(|i| !group.contains(*i)),
+                    "scale-up adds instances that are already members"
+                );
+                let mut instances = group.instances.clone();
+                instances.extend(added.iter().copied());
+                let mut masters = group.masters.clone();
+                // New instances immediately become masters so they can absorb
+                // newly generated KV (the multi-master mechanism).
+                masters.extend(added.iter().copied());
+                EspGroup::with_masters(group.id, instances, masters)
+            }
+            ScalingAction::Remaster { masters } => {
+                EspGroup::with_masters(group.id, group.instances.clone(), masters.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loong_cluster::topology::ClusterSpec;
+
+    fn group() -> EspGroup {
+        EspGroup::new(
+            GroupId(0),
+            vec![InstanceId(0), InstanceId(1), InstanceId(2), InstanceId(3)],
+        )
+    }
+
+    #[test]
+    fn group_basics() {
+        let g = group();
+        assert_eq!(g.dop(), 4);
+        assert_eq!(g.num_masters(), 4);
+        assert!(g.contains(InstanceId(2)));
+        assert!(g.is_master(InstanceId(2)));
+        let reg = InstanceRegistry::build(&ClusterSpec::single_node_a800(8), 2);
+        assert_eq!(g.parallel_config(&reg), ParallelConfig::new(2, 4));
+    }
+
+    #[test]
+    fn scale_down_keeps_subset_and_masters() {
+        let g = group();
+        let action = ScalingAction::ScaleDown {
+            retain: vec![InstanceId(0), InstanceId(1)],
+        };
+        let g2 = action.apply(&g);
+        assert_eq!(g2.dop(), 2);
+        assert_eq!(g2.masters, vec![InstanceId(0), InstanceId(1)]);
+        assert_eq!(g2.id, g.id);
+    }
+
+    #[test]
+    fn scale_up_adds_new_masters() {
+        let g = EspGroup::with_masters(GroupId(1), vec![InstanceId(0)], vec![InstanceId(0)]);
+        let action = ScalingAction::ScaleUp {
+            added: vec![InstanceId(1), InstanceId(2)],
+        };
+        let g2 = action.apply(&g);
+        assert_eq!(g2.dop(), 3);
+        assert_eq!(g2.num_masters(), 3);
+        assert!(g2.is_master(InstanceId(2)));
+    }
+
+    #[test]
+    fn remaster_changes_masters_only() {
+        let g = group();
+        let action = ScalingAction::Remaster {
+            masters: vec![InstanceId(3)],
+        };
+        let g2 = action.apply(&g);
+        assert_eq!(g2.dop(), 4);
+        assert_eq!(g2.masters, vec![InstanceId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not members")]
+    fn scale_down_to_foreign_instance_panics() {
+        let g = group();
+        let action = ScalingAction::ScaleDown {
+            retain: vec![InstanceId(7)],
+        };
+        let _ = action.apply(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "already members")]
+    fn scale_up_with_existing_member_panics() {
+        let g = group();
+        let action = ScalingAction::ScaleUp {
+            added: vec![InstanceId(0)],
+        };
+        let _ = action.apply(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instances")]
+    fn duplicate_members_rejected() {
+        let _ = EspGroup::new(GroupId(0), vec![InstanceId(0), InstanceId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn empty_masters_rejected() {
+        let _ = EspGroup::with_masters(GroupId(0), vec![InstanceId(0)], vec![]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Reactive (migration-based) scaling and whole-request migration.
+//!
+//! LoongServe itself avoids KV migration: prefill scale-down is proactive
+//! and decode scale-up adds masters without moving anything. Migration is
+//! still needed in three places, and this module provides it with explicit
+//! communication-cost accounting:
+//!
+//! * the **optional decode scale-down** (paper §5.4), used only when its
+//!   benefit outweighs the migration cost,
+//! * the global manager's **instance draining** when the prefill phase
+//!   preempts a lightly used decode instance (§5.2), and
+//! * the **baseline systems** (prefill–decode disaggregation, replicated
+//!   instances) that migrate whole requests between instance groups.
+
+use crate::group::{EspGroup, ScalingAction};
+use crate::instance::InstanceRegistry;
+use loong_kvcache::placement::PlacementStrategy;
+use loong_kvcache::unified::{KvMove, UnifiedKvPool};
+use loong_model::roofline::CostModel;
+use loong_simcore::ids::{InstanceId, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a migration-based scaling action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationSummary {
+    /// The individual KV moves performed.
+    pub moves: Vec<KvMove>,
+    /// Total tokens moved.
+    pub total_tokens: u64,
+    /// Bytes moved across the interconnect.
+    pub total_bytes: f64,
+    /// Time spent migrating, in seconds (serialised on the bottleneck link,
+    /// which is how real systems experience it once a transfer saturates the
+    /// NIC/NVLink port).
+    pub time_s: f64,
+}
+
+impl MigrationSummary {
+    /// A summary describing "nothing moved".
+    pub fn empty() -> Self {
+        MigrationSummary {
+            moves: Vec::new(),
+            total_tokens: 0,
+            total_bytes: 0.0,
+            time_s: 0.0,
+        }
+    }
+
+    fn from_moves(moves: Vec<KvMove>, cost_model: &CostModel, registry: &InstanceRegistry) -> Self {
+        let total_tokens: u64 = moves.iter().map(|m| m.tokens).sum();
+        let mut total_bytes = 0.0;
+        let mut time_s = 0.0;
+        for m in &moves {
+            let link = registry.link_between(&[m.from, m.to]);
+            let bytes = m.tokens as f64 * cost_model.model.kv_bytes_per_token();
+            total_bytes += bytes;
+            time_s += link.transfer_time(bytes);
+        }
+        MigrationSummary {
+            moves,
+            total_tokens,
+            total_bytes,
+            time_s,
+        }
+    }
+}
+
+/// Errors from migration-based scaling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingError {
+    /// The retained/target instances cannot absorb the KV that has to move.
+    InsufficientTargetCapacity {
+        /// Tokens that needed to move.
+        tokens: u64,
+    },
+    /// The requested membership change is inconsistent with the group.
+    InvalidMembership,
+}
+
+impl std::fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalingError::InsufficientTargetCapacity { tokens } => {
+                write!(
+                    f,
+                    "target instances cannot absorb {tokens} migrated KV tokens"
+                )
+            }
+            ScalingError::InvalidMembership => {
+                write!(f, "scaling action inconsistent with group membership")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+/// Scales a decode group down to `retain`, migrating the KV that the
+/// departing instances hold for `requests` onto the retained instances.
+///
+/// Returns the reshaped group and the migration summary (whose `time_s` the
+/// caller charges to the iteration timeline). Fails without mutating the
+/// pool if the retained instances cannot absorb the KV.
+pub fn reactive_scale_down(
+    group: &EspGroup,
+    retain: &[InstanceId],
+    requests: &[RequestId],
+    pool: &mut UnifiedKvPool,
+    cost_model: &CostModel,
+    registry: &InstanceRegistry,
+) -> Result<(EspGroup, MigrationSummary), ScalingError> {
+    if retain.is_empty() || !retain.iter().all(|i| group.contains(*i)) {
+        return Err(ScalingError::InvalidMembership);
+    }
+    let departing: Vec<InstanceId> = group
+        .instances
+        .iter()
+        .copied()
+        .filter(|i| !retain.contains(i))
+        .collect();
+
+    // Feasibility check before touching the pool.
+    let mut to_move = 0u64;
+    for &req in requests {
+        for (inst, tokens) in pool.locations_of(req) {
+            if departing.contains(&inst) {
+                to_move += tokens;
+            }
+        }
+    }
+    let free_on_retained: u64 = pool.free_slots_on(retain).iter().map(|(_, f)| f).sum();
+    if free_on_retained < to_move {
+        return Err(ScalingError::InsufficientTargetCapacity { tokens: to_move });
+    }
+
+    let mut moves = Vec::new();
+    for &req in requests {
+        for (from, tokens) in pool.locations_of(req) {
+            if !departing.contains(&from) {
+                continue;
+            }
+            // Spread the evicted tokens over the retained instances using a
+            // balanced token-level placement.
+            let placement = pool
+                .plan(req, tokens, retain, PlacementStrategy::Balanced)
+                .ok_or(ScalingError::InsufficientTargetCapacity { tokens: to_move })?;
+            for (to, chunk) in placement.spans {
+                let mv = pool
+                    .migrate(req, from, to, chunk)
+                    .expect("feasibility checked above");
+                moves.push(mv);
+            }
+        }
+    }
+    let summary = MigrationSummary::from_moves(moves, cost_model, registry);
+    let new_group = ScalingAction::ScaleDown {
+        retain: retain.to_vec(),
+    }
+    .apply(group);
+    Ok((new_group, summary))
+}
+
+/// Scales a group up by adding instances. No KV moves are required — the
+/// new instances become additional masters — so this returns only the
+/// reshaped group.
+pub fn scale_up(group: &EspGroup, added: &[InstanceId]) -> Result<EspGroup, ScalingError> {
+    if added.iter().any(|i| group.contains(*i)) {
+        return Err(ScalingError::InvalidMembership);
+    }
+    Ok(ScalingAction::ScaleUp {
+        added: added.to_vec(),
+    }
+    .apply(group))
+}
+
+/// Migrates *all* KV of `request` onto `targets` (used by the disaggregation
+/// and replication baselines when handing a request between instance
+/// groups). Returns the migration summary, or an error if the targets lack
+/// capacity, in which case the pool is unchanged.
+pub fn migrate_request(
+    request: RequestId,
+    targets: &[InstanceId],
+    pool: &mut UnifiedKvPool,
+    cost_model: &CostModel,
+    registry: &InstanceRegistry,
+) -> Result<MigrationSummary, ScalingError> {
+    let locations = pool.locations_of(request);
+    let outside: Vec<(InstanceId, u64)> = locations
+        .into_iter()
+        .filter(|(inst, _)| !targets.contains(inst))
+        .collect();
+    let to_move: u64 = outside.iter().map(|(_, t)| t).sum();
+    if to_move == 0 {
+        return Ok(MigrationSummary::empty());
+    }
+    let free_on_targets: u64 = pool.free_slots_on(targets).iter().map(|(_, f)| f).sum();
+    if free_on_targets < to_move {
+        return Err(ScalingError::InsufficientTargetCapacity { tokens: to_move });
+    }
+    let mut moves = Vec::new();
+    for (from, tokens) in outside {
+        let placement = pool
+            .plan(request, tokens, targets, PlacementStrategy::PackMostFree)
+            .ok_or(ScalingError::InsufficientTargetCapacity { tokens: to_move })?;
+        for (to, chunk) in placement.spans {
+            let mv = pool
+                .migrate(request, from, to, chunk)
+                .expect("feasibility checked above");
+            moves.push(mv);
+        }
+    }
+    Ok(MigrationSummary::from_moves(moves, cost_model, registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loong_cluster::topology::ClusterSpec;
+    use loong_model::config::ModelConfig;
+    use loong_simcore::ids::GroupId;
+
+    fn setup() -> (InstanceRegistry, CostModel) {
+        (
+            InstanceRegistry::build(&ClusterSpec::single_node_a800(8), 2),
+            CostModel::new(ModelConfig::lwm_1m_text()),
+        )
+    }
+
+    fn group_of(ids: &[u64]) -> EspGroup {
+        EspGroup::new(GroupId(0), ids.iter().map(|&i| InstanceId(i)).collect())
+    }
+
+    #[test]
+    fn reactive_scale_down_moves_kv_and_charges_time() {
+        let (registry, cm) = setup();
+        let mut pool = UnifiedKvPool::new(4, 300_000);
+        // Request 0 spread over all four instances.
+        for i in 0..4 {
+            pool.append(RequestId(0), InstanceId(i), 50_000)
+                .expect("room");
+        }
+        let group = group_of(&[0, 1, 2, 3]);
+        let (new_group, summary) = reactive_scale_down(
+            &group,
+            &[InstanceId(0), InstanceId(1)],
+            &[RequestId(0)],
+            &mut pool,
+            &cm,
+            &registry,
+        )
+        .expect("capacity");
+        assert_eq!(new_group.dop(), 2);
+        assert_eq!(summary.total_tokens, 100_000);
+        assert!(summary.time_s > 0.0);
+        assert!(summary.total_bytes > 0.0);
+        assert_eq!(pool.instance(InstanceId(2)).used(), 0);
+        assert_eq!(pool.instance(InstanceId(3)).used(), 0);
+        assert_eq!(pool.tokens_of(RequestId(0)), 200_000);
+    }
+
+    #[test]
+    fn reactive_scale_down_fails_cleanly_without_capacity() {
+        let (registry, cm) = setup();
+        let mut pool = UnifiedKvPool::with_capacities(&[60_000, 60_000, 300_000, 300_000]);
+        for i in 0..4 {
+            pool.append(RequestId(0), InstanceId(i), 50_000)
+                .expect("room");
+        }
+        let group = group_of(&[0, 1, 2, 3]);
+        let err = reactive_scale_down(
+            &group,
+            &[InstanceId(0), InstanceId(1)],
+            &[RequestId(0)],
+            &mut pool,
+            &cm,
+            &registry,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ScalingError::InsufficientTargetCapacity { tokens: 100_000 }
+        ));
+        // Pool untouched.
+        assert_eq!(pool.instance(InstanceId(2)).used_by(RequestId(0)), 50_000);
+    }
+
+    #[test]
+    fn scale_up_requires_no_migration() {
+        let group = group_of(&[0, 1]);
+        let bigger = scale_up(&group, &[InstanceId(2), InstanceId(3)]).expect("valid");
+        assert_eq!(bigger.dop(), 4);
+        assert!(bigger.is_master(InstanceId(3)));
+        assert!(scale_up(&group, &[InstanceId(0)]).is_err());
+    }
+
+    #[test]
+    fn migrate_request_consolidates_onto_targets() {
+        let (registry, cm) = setup();
+        let mut pool = UnifiedKvPool::new(4, 300_000);
+        pool.append(RequestId(5), InstanceId(0), 40_000)
+            .expect("room");
+        pool.append(RequestId(5), InstanceId(1), 40_000)
+            .expect("room");
+        let summary = migrate_request(
+            RequestId(5),
+            &[InstanceId(2), InstanceId(3)],
+            &mut pool,
+            &cm,
+            &registry,
+        )
+        .expect("capacity");
+        assert_eq!(summary.total_tokens, 80_000);
+        assert_eq!(pool.instance(InstanceId(0)).used(), 0);
+        assert_eq!(pool.tokens_of(RequestId(5)), 80_000);
+        // Migration of ~80K tokens (~40 GB) over NVLink should cost on the
+        // order of 100 ms — far more than a decode step, as the paper argues.
+        assert!(summary.time_s > 0.05, "migration time {}", summary.time_s);
+    }
+
+    #[test]
+    fn migrate_request_already_on_targets_is_free() {
+        let (registry, cm) = setup();
+        let mut pool = UnifiedKvPool::new(4, 300_000);
+        pool.append(RequestId(5), InstanceId(2), 40_000)
+            .expect("room");
+        let summary = migrate_request(RequestId(5), &[InstanceId(2)], &mut pool, &cm, &registry)
+            .expect("noop");
+        assert_eq!(summary.total_tokens, 0);
+        assert_eq!(summary.time_s, 0.0);
+    }
+
+    #[test]
+    fn invalid_membership_is_rejected() {
+        let (registry, cm) = setup();
+        let mut pool = UnifiedKvPool::new(4, 300_000);
+        let group = group_of(&[0, 1]);
+        let err = reactive_scale_down(&group, &[InstanceId(3)], &[], &mut pool, &cm, &registry)
+            .unwrap_err();
+        assert_eq!(err, ScalingError::InvalidMembership);
+    }
+}

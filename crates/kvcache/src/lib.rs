@@ -1,0 +1,52 @@
+//! # loong-kvcache
+//!
+//! Token-granularity key-value cache management for LoongServe-RS.
+//!
+//! * [`pool`] — the per-instance KV slot pool (PagedAttention at block size
+//!   one, as in the paper's implementation §6),
+//! * [`placement`] — token-level placement plans and strategies,
+//! * [`unified`] — the unified distributed pool spanning all elastic
+//!   instances, with commit/append/migrate/drain/evict operations,
+//! * [`frag`] — fragmentation metrics contrasting locality-constrained and
+//!   unified admission (paper §2.4, Figure 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use loong_kvcache::prelude::*;
+//! use loong_simcore::ids::{InstanceId, RequestId};
+//!
+//! let mut pool = UnifiedKvPool::with_capacities(&[100_000, 200_000, 400_000]);
+//! let plan = pool
+//!     .plan(RequestId(0), 600_000,
+//!           &[InstanceId(0), InstanceId(1), InstanceId(2)],
+//!           PlacementStrategy::Balanced)
+//!     .expect("the unified pool has room");
+//! pool.commit(&plan).unwrap();
+//! assert_eq!(pool.tokens_of(RequestId(0)), 600_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod frag;
+pub mod placement;
+pub mod pool;
+pub mod unified;
+
+pub use frag::{
+    admissible_unified, admissible_with_locality, fragmentation_report, FragmentationReport,
+};
+pub use placement::{plan_placement, PlacementPlan, PlacementStrategy};
+pub use pool::{InstanceKvPool, KvError};
+pub use unified::{KvMove, UnifiedKvPool};
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::frag::{
+        admissible_unified, admissible_with_locality, fragmentation_report, FragmentationReport,
+    };
+    pub use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
+    pub use crate::pool::{InstanceKvPool, KvError};
+    pub use crate::unified::{KvMove, UnifiedKvPool};
+}

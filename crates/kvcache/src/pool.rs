@@ -1,0 +1,261 @@
+//! Per-instance key-value cache pools.
+//!
+//! Each elastic instance manages its GPU memory as a pool of token-granular
+//! KV slots (the paper implements this with PagedAttention at a block size
+//! of one token, §6). A pool tracks how many slots each request occupies on
+//! this instance; the cross-instance view lives in
+//! [`crate::unified::UnifiedKvPool`].
+
+use loong_simcore::ids::{InstanceId, RequestId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Errors returned by pool operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvError {
+    /// The instance does not have enough free slots for the allocation.
+    InsufficientCapacity {
+        /// Instance that rejected the allocation.
+        instance: InstanceId,
+        /// Slots requested.
+        requested: u64,
+        /// Slots actually free.
+        free: u64,
+    },
+    /// The request has no slots on this instance.
+    UnknownRequest {
+        /// Instance that was queried.
+        instance: InstanceId,
+        /// The request that was not found.
+        request: RequestId,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::InsufficientCapacity {
+                instance,
+                requested,
+                free,
+            } => write!(
+                f,
+                "{instance}: requested {requested} KV slots but only {free} free"
+            ),
+            KvError::UnknownRequest { instance, request } => {
+                write!(f, "{instance}: request {request} holds no KV slots here")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// The token-granularity KV pool of one elastic instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceKvPool {
+    /// The owning instance.
+    pub instance: InstanceId,
+    /// Total slot capacity (tokens).
+    capacity: u64,
+    /// Currently used slots.
+    used: u64,
+    /// Slots held per request.
+    per_request: HashMap<RequestId, u64>,
+}
+
+impl InstanceKvPool {
+    /// Creates an empty pool with the given capacity in token slots.
+    pub fn new(instance: InstanceId, capacity: u64) -> Self {
+        InstanceKvPool {
+            instance,
+            capacity,
+            used: 0,
+            per_request: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in token slots.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Used token slots.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Free token slots.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of requests holding slots here.
+    pub fn resident_requests(&self) -> usize {
+        self.per_request.len()
+    }
+
+    /// Slots held by `request` on this instance (zero if none).
+    pub fn used_by(&self, request: RequestId) -> u64 {
+        self.per_request.get(&request).copied().unwrap_or(0)
+    }
+
+    /// Returns true if `request` holds any slots here.
+    pub fn hosts(&self, request: RequestId) -> bool {
+        self.per_request.contains_key(&request)
+    }
+
+    /// Allocates `tokens` slots to `request`, growing its existing
+    /// allocation if it already holds slots here.
+    pub fn allocate(&mut self, request: RequestId, tokens: u64) -> Result<(), KvError> {
+        if tokens == 0 {
+            return Ok(());
+        }
+        if tokens > self.free() {
+            return Err(KvError::InsufficientCapacity {
+                instance: self.instance,
+                requested: tokens,
+                free: self.free(),
+            });
+        }
+        *self.per_request.entry(request).or_insert(0) += tokens;
+        self.used += tokens;
+        Ok(())
+    }
+
+    /// Releases all slots held by `request`, returning how many were freed.
+    pub fn release(&mut self, request: RequestId) -> u64 {
+        let freed = self.per_request.remove(&request).unwrap_or(0);
+        self.used -= freed;
+        freed
+    }
+
+    /// Releases `tokens` slots of `request` (used when migrating part of a
+    /// request away from this instance).
+    pub fn release_partial(&mut self, request: RequestId, tokens: u64) -> Result<(), KvError> {
+        let Some(held) = self.per_request.get_mut(&request) else {
+            return Err(KvError::UnknownRequest {
+                instance: self.instance,
+                request,
+            });
+        };
+        assert!(
+            *held >= tokens,
+            "cannot release {tokens} slots: request {request} holds only {held} on {}",
+            self.instance
+        );
+        *held -= tokens;
+        self.used -= tokens;
+        if *held == 0 {
+            self.per_request.remove(&request);
+        }
+        Ok(())
+    }
+
+    /// All requests with slots on this instance, with their slot counts.
+    pub fn residents(&self) -> impl Iterator<Item = (RequestId, u64)> + '_ {
+        self.per_request.iter().map(|(&r, &t)| (r, t))
+    }
+
+    /// Checks the internal bookkeeping invariant (used slots equal the sum
+    /// of per-request holdings and never exceed capacity).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let sum: u64 = self.per_request.values().sum();
+        if sum != self.used {
+            return Err(format!(
+                "{}: per-request sum {sum} != used {}",
+                self.instance, self.used
+            ));
+        }
+        if self.used > self.capacity {
+            return Err(format!(
+                "{}: used {} exceeds capacity {}",
+                self.instance, self.used, self.capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut pool = InstanceKvPool::new(InstanceId(0), 100);
+        pool.allocate(RequestId(1), 30).expect("fits");
+        pool.allocate(RequestId(2), 50).expect("fits");
+        assert_eq!(pool.free(), 20);
+        assert_eq!(pool.used_by(RequestId(1)), 30);
+        assert_eq!(pool.resident_requests(), 2);
+        assert_eq!(pool.release(RequestId(1)), 30);
+        assert_eq!(pool.free(), 50);
+        assert!(pool.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let mut pool = InstanceKvPool::new(InstanceId(0), 10);
+        let err = pool.allocate(RequestId(1), 11).unwrap_err();
+        match err {
+            KvError::InsufficientCapacity {
+                requested, free, ..
+            } => {
+                assert_eq!(requested, 11);
+                assert_eq!(free, 10);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn incremental_growth_accumulates() {
+        let mut pool = InstanceKvPool::new(InstanceId(0), 10);
+        for _ in 0..5 {
+            pool.allocate(RequestId(7), 1).expect("fits");
+        }
+        assert_eq!(pool.used_by(RequestId(7)), 5);
+        assert!(pool.hosts(RequestId(7)));
+    }
+
+    #[test]
+    fn partial_release_shrinks_holding() {
+        let mut pool = InstanceKvPool::new(InstanceId(0), 100);
+        pool.allocate(RequestId(1), 40).expect("fits");
+        pool.release_partial(RequestId(1), 10).expect("held");
+        assert_eq!(pool.used_by(RequestId(1)), 30);
+        pool.release_partial(RequestId(1), 30).expect("held");
+        assert!(!pool.hosts(RequestId(1)));
+        assert!(pool.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn partial_release_of_unknown_request_errors() {
+        let mut pool = InstanceKvPool::new(InstanceId(0), 100);
+        assert!(matches!(
+            pool.release_partial(RequestId(9), 1),
+            Err(KvError::UnknownRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_allocation_is_a_noop() {
+        let mut pool = InstanceKvPool::new(InstanceId(0), 10);
+        pool.allocate(RequestId(1), 0).expect("trivially fits");
+        assert_eq!(pool.used(), 0);
+        assert!(!pool.hosts(RequestId(1)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = KvError::InsufficientCapacity {
+            instance: InstanceId(3),
+            requested: 10,
+            free: 2,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("inst3") && msg.contains("10") && msg.contains('2'));
+    }
+}

@@ -1,0 +1,418 @@
+//! The unified distributed KV cache pool.
+//!
+//! LoongServe treats the KV memory of all elastic instances as one pool
+//! (paper §3, §4): a request's tokens can live on any subset of instances at
+//! single-token granularity, which removes the locality constraint that
+//! causes fragmentation in grouped designs (Figure 4). This module tracks
+//! slot usage across instances, commits placement plans, grows requests
+//! during decoding, migrates spans between instances, and evicts requests.
+
+use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
+use crate::pool::{InstanceKvPool, KvError};
+use loong_simcore::ids::{InstanceId, RequestId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A KV migration of part of one request between two instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvMove {
+    /// Request whose tokens move.
+    pub request: RequestId,
+    /// Source instance.
+    pub from: InstanceId,
+    /// Destination instance.
+    pub to: InstanceId,
+    /// Number of tokens moved.
+    pub tokens: u64,
+}
+
+/// The cross-instance pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnifiedKvPool {
+    pools: Vec<InstanceKvPool>,
+}
+
+impl UnifiedKvPool {
+    /// Creates a pool over `instances` instances, each with `capacity`
+    /// token slots.
+    pub fn new(instances: usize, capacity_per_instance: u64) -> Self {
+        UnifiedKvPool {
+            pools: (0..instances)
+                .map(|i| InstanceKvPool::new(InstanceId::from(i), capacity_per_instance))
+                .collect(),
+        }
+    }
+
+    /// Creates a pool with per-instance capacities (useful for heterogeneous
+    /// scenarios and tests).
+    pub fn with_capacities(capacities: &[u64]) -> Self {
+        UnifiedKvPool {
+            pools: capacities
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| InstanceKvPool::new(InstanceId::from(i), c))
+                .collect(),
+        }
+    }
+
+    /// Number of instances in the pool.
+    pub fn num_instances(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The per-instance pool for `instance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is out of range.
+    pub fn instance(&self, instance: InstanceId) -> &InstanceKvPool {
+        &self.pools[instance.index()]
+    }
+
+    /// Free slots on each instance, as `(instance, free)` pairs.
+    pub fn free_slots(&self) -> Vec<(InstanceId, u64)> {
+        self.pools.iter().map(|p| (p.instance, p.free())).collect()
+    }
+
+    /// Free slots on a subset of instances.
+    pub fn free_slots_on(&self, instances: &[InstanceId]) -> Vec<(InstanceId, u64)> {
+        instances
+            .iter()
+            .map(|&i| (i, self.pools[i.index()].free()))
+            .collect()
+    }
+
+    /// Total free slots across all instances.
+    pub fn total_free(&self) -> u64 {
+        self.pools.iter().map(|p| p.free()).sum()
+    }
+
+    /// Total used slots across all instances.
+    pub fn total_used(&self) -> u64 {
+        self.pools.iter().map(|p| p.used()).sum()
+    }
+
+    /// Total capacity across all instances.
+    pub fn total_capacity(&self) -> u64 {
+        self.pools.iter().map(|p| p.capacity()).sum()
+    }
+
+    /// Tokens `request` holds on each instance.
+    pub fn locations_of(&self, request: RequestId) -> Vec<(InstanceId, u64)> {
+        self.pools
+            .iter()
+            .filter(|p| p.hosts(request))
+            .map(|p| (p.instance, p.used_by(request)))
+            .collect()
+    }
+
+    /// Total tokens `request` holds across the pool.
+    pub fn tokens_of(&self, request: RequestId) -> u64 {
+        self.pools.iter().map(|p| p.used_by(request)).sum()
+    }
+
+    /// Plans a placement of `tokens` for `request` restricted to
+    /// `candidates`, without committing it.
+    pub fn plan(
+        &self,
+        request: RequestId,
+        tokens: u64,
+        candidates: &[InstanceId],
+        strategy: PlacementStrategy,
+    ) -> Option<PlacementPlan> {
+        plan_placement(request, tokens, &self.free_slots_on(candidates), strategy)
+    }
+
+    /// Commits a placement plan, allocating its spans.
+    pub fn commit(&mut self, plan: &PlacementPlan) -> Result<(), KvError> {
+        plan.validate()
+            .expect("placement plans are validated at construction");
+        // Two-phase: check everything fits before mutating so a failed
+        // commit leaves the pool untouched.
+        for &(inst, tokens) in &plan.spans {
+            let pool = &self.pools[inst.index()];
+            if tokens > pool.free() {
+                return Err(KvError::InsufficientCapacity {
+                    instance: inst,
+                    requested: tokens,
+                    free: pool.free(),
+                });
+            }
+        }
+        for &(inst, tokens) in &plan.spans {
+            self.pools[inst.index()]
+                .allocate(plan.request, tokens)
+                .expect("checked above");
+        }
+        Ok(())
+    }
+
+    /// Appends `tokens` newly generated KV slots for `request` on a specific
+    /// instance (the master that generated them during decoding).
+    pub fn append(
+        &mut self,
+        request: RequestId,
+        instance: InstanceId,
+        tokens: u64,
+    ) -> Result<(), KvError> {
+        self.pools[instance.index()].allocate(request, tokens)
+    }
+
+    /// Releases every slot held by `request`, returning the total freed.
+    pub fn release(&mut self, request: RequestId) -> u64 {
+        self.pools.iter_mut().map(|p| p.release(request)).sum()
+    }
+
+    /// Applies a migration: moves `tokens` of `request` from one instance to
+    /// another. Returns the move record for communication accounting.
+    pub fn migrate(
+        &mut self,
+        request: RequestId,
+        from: InstanceId,
+        to: InstanceId,
+        tokens: u64,
+    ) -> Result<KvMove, KvError> {
+        if tokens == 0 {
+            return Ok(KvMove {
+                request,
+                from,
+                to,
+                tokens: 0,
+            });
+        }
+        let held = self.pools[from.index()].used_by(request);
+        if held < tokens {
+            return Err(KvError::UnknownRequest {
+                instance: from,
+                request,
+            });
+        }
+        // Destination must have room before we release the source.
+        if self.pools[to.index()].free() < tokens {
+            return Err(KvError::InsufficientCapacity {
+                instance: to,
+                requested: tokens,
+                free: self.pools[to.index()].free(),
+            });
+        }
+        self.pools[from.index()].release_partial(request, tokens)?;
+        self.pools[to.index()]
+            .allocate(request, tokens)
+            .expect("capacity checked above");
+        Ok(KvMove {
+            request,
+            from,
+            to,
+            tokens,
+        })
+    }
+
+    /// Moves everything `request` holds on `from` to other instances with
+    /// room, preferring the instances with the most free slots. Used when
+    /// the global manager drains an instance so the prefill phase can claim
+    /// it (paper §5.2). Returns the moves performed, or `None` if the rest
+    /// of the pool cannot absorb the tokens (in which case nothing changes).
+    pub fn drain_instance(&mut self, request: RequestId, from: InstanceId) -> Option<Vec<KvMove>> {
+        let to_move = self.pools[from.index()].used_by(request);
+        if to_move == 0 {
+            return Some(Vec::new());
+        }
+        let mut targets: Vec<(InstanceId, u64)> = self
+            .pools
+            .iter()
+            .filter(|p| p.instance != from)
+            .map(|p| (p.instance, p.free()))
+            .collect();
+        targets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let available: u64 = targets.iter().map(|(_, f)| f).sum();
+        if available < to_move {
+            return None;
+        }
+        let mut moves = Vec::new();
+        let mut remaining = to_move;
+        for (to, free) in targets {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(free);
+            if take == 0 {
+                continue;
+            }
+            let mv = self
+                .migrate(request, from, to, take)
+                .expect("capacity verified above");
+            moves.push(mv);
+            remaining -= take;
+        }
+        Some(moves)
+    }
+
+    /// All requests resident anywhere in the pool.
+    pub fn resident_requests(&self) -> Vec<RequestId> {
+        let mut set: Vec<RequestId> = Vec::new();
+        for p in &self.pools {
+            for (r, _) in p.residents() {
+                if !set.contains(&r) {
+                    set.push(r);
+                }
+            }
+        }
+        set.sort();
+        set
+    }
+
+    /// Checks bookkeeping invariants on every instance pool.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for p in &self.pools {
+            p.check_invariants()?;
+        }
+        Ok(())
+    }
+
+    /// Extends the pool with additional empty instances (multi-node scale
+    /// out).
+    pub fn add_instances(&mut self, count: usize, capacity_per_instance: u64) {
+        let start = self.pools.len();
+        for i in 0..count {
+            self.pools.push(InstanceKvPool::new(
+                InstanceId::from(start + i),
+                capacity_per_instance,
+            ));
+        }
+    }
+
+    /// Per-instance utilisation in `[0, 1]`.
+    pub fn utilization(&self) -> HashMap<InstanceId, f64> {
+        self.pools
+            .iter()
+            .map(|p| {
+                let u = if p.capacity() == 0 {
+                    1.0
+                } else {
+                    p.used() as f64 / p.capacity() as f64
+                };
+                (p.instance, u)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> UnifiedKvPool {
+        UnifiedKvPool::with_capacities(&[100_000, 200_000, 400_000])
+    }
+
+    #[test]
+    fn commit_and_release_roundtrip() {
+        let mut p = pool();
+        let plan = p
+            .plan(
+                RequestId(0),
+                600_000,
+                &[InstanceId(0), InstanceId(1), InstanceId(2)],
+                PlacementStrategy::Balanced,
+            )
+            .expect("fits in unified pool");
+        p.commit(&plan).expect("commit");
+        assert_eq!(p.tokens_of(RequestId(0)), 600_000);
+        assert_eq!(p.total_free(), 100_000);
+        assert_eq!(p.release(RequestId(0)), 600_000);
+        assert_eq!(p.total_free(), 700_000);
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn failed_commit_leaves_pool_untouched() {
+        let mut p = pool();
+        // Hand-craft a plan that exceeds instance 0's capacity.
+        let plan = PlacementPlan {
+            request: RequestId(0),
+            spans: vec![(InstanceId(0), 150_000)],
+        };
+        assert!(p.commit(&plan).is_err());
+        assert_eq!(p.total_used(), 0);
+    }
+
+    #[test]
+    fn append_grows_request_on_master() {
+        let mut p = pool();
+        p.append(RequestId(3), InstanceId(1), 1).expect("room");
+        p.append(RequestId(3), InstanceId(1), 1).expect("room");
+        assert_eq!(p.tokens_of(RequestId(3)), 2);
+        assert_eq!(p.locations_of(RequestId(3)), vec![(InstanceId(1), 2)]);
+    }
+
+    #[test]
+    fn migrate_moves_tokens_between_instances() {
+        let mut p = pool();
+        p.append(RequestId(1), InstanceId(0), 50_000).expect("room");
+        let mv = p
+            .migrate(RequestId(1), InstanceId(0), InstanceId(2), 20_000)
+            .expect("room");
+        assert_eq!(mv.tokens, 20_000);
+        assert_eq!(p.instance(InstanceId(0)).used_by(RequestId(1)), 30_000);
+        assert_eq!(p.instance(InstanceId(2)).used_by(RequestId(1)), 20_000);
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn migrate_rejects_when_destination_full() {
+        let mut p = UnifiedKvPool::with_capacities(&[100, 10]);
+        p.append(RequestId(1), InstanceId(0), 50).expect("room");
+        assert!(matches!(
+            p.migrate(RequestId(1), InstanceId(0), InstanceId(1), 20),
+            Err(KvError::InsufficientCapacity { .. })
+        ));
+        // Source untouched on failure.
+        assert_eq!(p.instance(InstanceId(0)).used_by(RequestId(1)), 50);
+    }
+
+    #[test]
+    fn drain_instance_moves_everything_or_nothing() {
+        let mut p = UnifiedKvPool::with_capacities(&[100, 60, 60]);
+        p.append(RequestId(1), InstanceId(0), 100).expect("room");
+        let moves = p
+            .drain_instance(RequestId(1), InstanceId(0))
+            .expect("fits elsewhere");
+        assert_eq!(moves.iter().map(|m| m.tokens).sum::<u64>(), 100);
+        assert_eq!(p.instance(InstanceId(0)).used_by(RequestId(1)), 0);
+        assert_eq!(p.tokens_of(RequestId(1)), 100);
+
+        // Now fill the other instances so a second drain cannot succeed.
+        let mut p2 = UnifiedKvPool::with_capacities(&[100, 10, 10]);
+        p2.append(RequestId(1), InstanceId(0), 100).expect("room");
+        assert!(p2.drain_instance(RequestId(1), InstanceId(0)).is_none());
+        assert_eq!(p2.instance(InstanceId(0)).used_by(RequestId(1)), 100);
+    }
+
+    #[test]
+    fn resident_requests_lists_unique_ids() {
+        let mut p = pool();
+        p.append(RequestId(5), InstanceId(0), 10).expect("room");
+        p.append(RequestId(5), InstanceId(1), 10).expect("room");
+        p.append(RequestId(2), InstanceId(2), 10).expect("room");
+        assert_eq!(p.resident_requests(), vec![RequestId(2), RequestId(5)]);
+    }
+
+    #[test]
+    fn add_instances_extends_capacity() {
+        let mut p = pool();
+        let before = p.total_capacity();
+        p.add_instances(2, 50_000);
+        assert_eq!(p.num_instances(), 5);
+        assert_eq!(p.total_capacity(), before + 100_000);
+        assert_eq!(p.instance(InstanceId(4)).capacity(), 50_000);
+    }
+
+    #[test]
+    fn utilization_reports_per_instance() {
+        let mut p = UnifiedKvPool::with_capacities(&[100, 100]);
+        p.append(RequestId(1), InstanceId(0), 50).expect("room");
+        let u = p.utilization();
+        assert_eq!(u[&InstanceId(0)], 0.5);
+        assert_eq!(u[&InstanceId(1)], 0.0);
+    }
+}

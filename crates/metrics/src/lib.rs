@@ -1,0 +1,54 @@
+//! # loong-metrics
+//!
+//! Metrics collection and aggregation for LoongServe-RS experiments.
+//!
+//! * [`record`] — per-request lifecycle records and the normalised latency
+//!   metrics derived from them,
+//! * [`latency`] — means, percentiles and latency summaries,
+//! * [`slo`] — SLO specifications, attainment and (P90) goodput,
+//! * [`timeseries`] — binned event counters (e.g. scale-ups per 10 s),
+//! * [`summary`] — per-run summaries and markdown comparison tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use loong_metrics::prelude::*;
+//! use loong_simcore::ids::RequestId;
+//! use loong_simcore::time::SimTime;
+//!
+//! let record = RequestRecord {
+//!     id: RequestId(0),
+//!     arrival: SimTime::ZERO,
+//!     input_len: 1000,
+//!     output_len: 100,
+//!     prefill_start: SimTime::from_secs(0.1),
+//!     first_token: SimTime::from_secs(1.0),
+//!     finish: SimTime::from_secs(6.0),
+//!     preemptions: 0,
+//! };
+//! assert!(record.normalized_input_latency() <= 0.001);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod latency;
+pub mod record;
+pub mod slo;
+pub mod summary;
+pub mod timeseries;
+
+pub use latency::{mean, percentile, LatencySummary};
+pub use record::RequestRecord;
+pub use slo::{goodput, SloPoint, SloSpec};
+pub use summary::RunSummary;
+pub use timeseries::BinnedCounter;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::latency::{mean, percentile, LatencySummary};
+    pub use crate::record::RequestRecord;
+    pub use crate::slo::{goodput, SloPoint, SloSpec};
+    pub use crate::summary::RunSummary;
+    pub use crate::timeseries::BinnedCounter;
+}

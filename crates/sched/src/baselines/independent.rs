@@ -1,0 +1,318 @@
+//! Independent-instance baselines (vLLM-style and replicated serving).
+//!
+//! These baselines model the "one static engine per instance" designs the
+//! paper compares against:
+//!
+//! * **vLLM (TP=8)** — the whole node is one tensor-parallel engine with
+//!   continuous batching and prefill-prioritised scheduling; with several
+//!   nodes, each node is an independent engine.
+//! * **Replicated (TP=2) × 4** — four small engines, each holding a full
+//!   model replica, with requests routed to the least-loaded replica
+//!   (the "parallelism with replication" ablation of Figure 12).
+//!
+//! Both share the same policy: every instance serves its own requests with a
+//! strict locality constraint (a request's whole KV lives on one instance),
+//! prefill takes priority over decode, and requests that cannot fit on any
+//! single instance are rejected — the fragmentation weakness §2.4
+//! highlights.
+
+use crate::types::{Action, PendingRequest, Scheduler, SchedulerView};
+use loong_model::roofline::ParallelConfig;
+use loong_simcore::ids::{InstanceId, RequestId};
+use std::collections::HashMap;
+
+/// A scheduler treating every elastic instance as an independent serving
+/// engine with static parallelism.
+#[derive(Debug, Clone)]
+pub struct IndependentInstancesScheduler {
+    name: String,
+    /// Pending requests already routed to an instance (sticky routing, so a
+    /// request is not bounced between replicas while it waits).
+    routing: HashMap<RequestId, InstanceId>,
+}
+
+impl IndependentInstancesScheduler {
+    /// Creates the policy with a report label such as `"vLLM (TP=8)"`.
+    pub fn new(name: impl Into<String>) -> Self {
+        IndependentInstancesScheduler {
+            name: name.into(),
+            routing: HashMap::new(),
+        }
+    }
+
+    /// The vLLM-style baseline label used in the paper's figures.
+    pub fn vllm() -> Self {
+        Self::new("vLLM (TP=8)")
+    }
+
+    /// The replicated-instances ablation label used in Figure 12.
+    pub fn replicated() -> Self {
+        Self::new("LoongServe w/o ESP (TP=2) x 4")
+    }
+
+    /// Routes a pending request to an instance: stick with a previous
+    /// routing decision, otherwise pick the instance with the most free KV
+    /// slots.
+    fn route(&mut self, view: &SchedulerView<'_>, req: &PendingRequest) -> Option<InstanceId> {
+        if let Some(&inst) = self.routing.get(&req.id) {
+            return Some(inst);
+        }
+        let needed = req.input_len + req.max_output_len;
+        let mut best: Option<(InstanceId, u64)> = None;
+        for &(inst, free) in &view.pool.free_slots() {
+            if free >= needed && best.map(|(_, b)| free > b).unwrap_or(true) {
+                best = Some((inst, free));
+            }
+        }
+        let inst = best.map(|(i, _)| i)?;
+        self.routing.insert(req.id, inst);
+        Some(inst)
+    }
+}
+
+impl Scheduler for IndependentInstancesScheduler {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn schedule(&mut self, view: &SchedulerView<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let tp = view.registry.tp();
+        let saturation = view
+            .cost_model
+            .prefill_saturation_tokens(ParallelConfig::new(tp, 1));
+
+        // Reject requests that no single instance could ever hold.
+        let max_single = view
+            .registry
+            .all_ids()
+            .iter()
+            .map(|&i| view.pool.instance(i).capacity())
+            .max()
+            .unwrap_or(0);
+        for p in view.pending {
+            if p.input_len + p.max_output_len > max_single {
+                actions.push(Action::Reject {
+                    request: p.id,
+                    reason: format!(
+                        "request needs {} KV slots but a single instance only has {max_single} (locality constraint)",
+                        p.input_len + p.max_output_len
+                    ),
+                });
+            }
+        }
+
+        // Route pending requests and gather per-instance prefill batches.
+        let mut prefill_per_instance: HashMap<InstanceId, Vec<RequestId>> = HashMap::new();
+        let mut budget_per_instance: HashMap<InstanceId, u64> = HashMap::new();
+        let mut tokens_per_instance: HashMap<InstanceId, u64> = HashMap::new();
+        for req in view.pending {
+            let Some(inst) = self.route(view, req) else {
+                continue;
+            };
+            if !view.idle_instances.contains(&inst) {
+                continue;
+            }
+            let budget = budget_per_instance
+                .entry(inst)
+                .or_insert_with(|| view.pool.instance(inst).free());
+            let tokens = tokens_per_instance.entry(inst).or_insert(0);
+            let needed = req.input_len + req.max_output_len;
+            if *tokens >= saturation || needed > *budget {
+                continue;
+            }
+            *budget -= needed;
+            *tokens += req.input_len;
+            prefill_per_instance.entry(inst).or_default().push(req.id);
+        }
+
+        let mut used: Vec<InstanceId> = Vec::new();
+        for (inst, requests) in prefill_per_instance {
+            used.push(inst);
+            actions.push(Action::Prefill {
+                instances: vec![inst],
+                requests,
+                retain_on: vec![inst],
+            });
+        }
+
+        // Decode on the remaining idle instances (prefill has priority).
+        let mut decode_per_instance: HashMap<InstanceId, Vec<RequestId>> = HashMap::new();
+        for d in view.decoding {
+            let Some(&inst) = d.kv_instances.first() else {
+                continue;
+            };
+            if used.contains(&inst) || !view.idle_instances.contains(&inst) {
+                continue;
+            }
+            decode_per_instance.entry(inst).or_default().push(d.id);
+        }
+        for (inst, requests) in decode_per_instance {
+            actions.push(Action::Decode {
+                instances: vec![inst],
+                masters: vec![inst],
+                requests,
+            });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DecodingRequest;
+    use loong_cluster::topology::ClusterSpec;
+    use loong_esp::instance::InstanceRegistry;
+    use loong_kvcache::unified::UnifiedKvPool;
+    use loong_model::config::ModelConfig;
+    use loong_model::roofline::CostModel;
+    use loong_model::sib::ScalingInfoBase;
+    use loong_simcore::time::SimTime;
+
+    struct Fixture {
+        registry: InstanceRegistry,
+        cost_model: CostModel,
+        sib: ScalingInfoBase,
+        pool: UnifiedKvPool,
+        pending: Vec<PendingRequest>,
+        decoding: Vec<DecodingRequest>,
+        idle: Vec<InstanceId>,
+    }
+
+    fn fixture(tp: usize) -> Fixture {
+        let registry = InstanceRegistry::build(&ClusterSpec::single_node_a800(8), tp);
+        let idle = registry.all_ids();
+        let n = registry.num_instances();
+        Fixture {
+            registry,
+            cost_model: CostModel::new(ModelConfig::lwm_1m_text()),
+            sib: ScalingInfoBase::new(),
+            pool: UnifiedKvPool::new(n, 400_000),
+            pending: vec![],
+            decoding: vec![],
+            idle,
+        }
+    }
+
+    fn view<'a>(f: &'a Fixture) -> SchedulerView<'a> {
+        SchedulerView {
+            now: SimTime::ZERO,
+            pending: &f.pending,
+            decoding: &f.decoding,
+            idle_instances: &f.idle,
+            busy_instances: &[],
+            pool: &f.pool,
+            registry: &f.registry,
+            cost_model: &f.cost_model,
+            sib: &f.sib,
+            avg_decode_latency_s: 0.0,
+        }
+    }
+
+    fn pending(id: u64, len: u64) -> PendingRequest {
+        PendingRequest {
+            id: RequestId(id),
+            arrival: SimTime::ZERO,
+            input_len: len,
+            prefilled_len: 0,
+            max_output_len: 128,
+        }
+    }
+
+    #[test]
+    fn vllm_uses_single_instance_prefill() {
+        let mut f = fixture(8);
+        f.pending = vec![pending(0, 1_000), pending(1, 500)];
+        let mut s = IndependentInstancesScheduler::vllm();
+        let actions = s.schedule(&view(&f));
+        let prefills: Vec<&Action> = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Prefill { .. }))
+            .collect();
+        assert_eq!(prefills.len(), 1);
+        if let Action::Prefill {
+            instances,
+            requests,
+            retain_on,
+        } = prefills[0]
+        {
+            assert_eq!(instances.len(), 1);
+            assert_eq!(retain_on, instances);
+            assert_eq!(requests.len(), 2);
+        }
+    }
+
+    #[test]
+    fn replicated_routes_to_least_loaded() {
+        let mut f = fixture(2);
+        // Load instance 0 heavily so new requests prefer other replicas.
+        f.pool
+            .append(RequestId(99), InstanceId(0), 350_000)
+            .expect("room");
+        f.pending = vec![pending(0, 10_000)];
+        let mut s = IndependentInstancesScheduler::replicated();
+        let actions = s.schedule(&view(&f));
+        let prefill_instance = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Prefill { instances, .. } => Some(instances[0]),
+                _ => None,
+            })
+            .expect("prefill scheduled");
+        assert_ne!(prefill_instance, InstanceId(0));
+    }
+
+    #[test]
+    fn oversized_request_rejected_under_locality() {
+        let mut f = fixture(2);
+        // 600K tokens exceeds a single 400K-slot instance even though the
+        // cluster total (1.6M) would suffice — the Figure 4 pathology.
+        f.pending = vec![pending(0, 600_000)];
+        let mut s = IndependentInstancesScheduler::replicated();
+        let actions = s.schedule(&view(&f));
+        assert!(actions.iter().any(|a| matches!(a, Action::Reject { .. })));
+        assert!(!actions.iter().any(|a| matches!(a, Action::Prefill { .. })));
+    }
+
+    #[test]
+    fn decode_runs_when_no_prefill_pending() {
+        let mut f = fixture(8);
+        f.pool
+            .append(RequestId(0), InstanceId(0), 500)
+            .expect("room");
+        f.decoding = vec![DecodingRequest {
+            id: RequestId(0),
+            context_len: 500,
+            generated: 3,
+            decode_time_s: 0.0,
+            kv_instances: vec![InstanceId(0)],
+        }];
+        let mut s = IndependentInstancesScheduler::vllm();
+        let actions = s.schedule(&view(&f));
+        assert!(actions.iter().any(|a| matches!(a, Action::Decode { .. })));
+    }
+
+    #[test]
+    fn prefill_preempts_decode_on_same_instance() {
+        let mut f = fixture(8);
+        f.pool
+            .append(RequestId(0), InstanceId(0), 500)
+            .expect("room");
+        f.decoding = vec![DecodingRequest {
+            id: RequestId(0),
+            context_len: 500,
+            generated: 3,
+            decode_time_s: 0.0,
+            kv_instances: vec![InstanceId(0)],
+        }];
+        f.pending = vec![pending(1, 50_000)];
+        let mut s = IndependentInstancesScheduler::vllm();
+        let actions = s.schedule(&view(&f));
+        assert!(actions.iter().any(|a| matches!(a, Action::Prefill { .. })));
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::Decode { .. })),
+            "decode should be delayed behind the prefill (the interference the paper measures)"
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Baseline serving policies the paper compares against.
+//!
+//! All baselines run on the same simulated substrate as LoongServe (same
+//! cost model, same KV pool semantics, same workload traces); only the
+//! scheduling policy and parallelism shape differ, which isolates the
+//! contribution of elastic sequence parallelism exactly the way the paper's
+//! evaluation does.
+
+pub mod distserve;
+pub mod independent;
+pub mod splitfuse;
+pub mod static_hybrid;
+
+pub use distserve::DistServeScheduler;
+pub use independent::IndependentInstancesScheduler;
+pub use splitfuse::SplitFuseScheduler;
+pub use static_hybrid::StaticHybridScheduler;

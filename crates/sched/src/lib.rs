@@ -1,0 +1,53 @@
+//! # loong-sched
+//!
+//! Scheduling policies for LoongServe-RS: the LoongServe global manager and
+//! every baseline system used in the paper's evaluation.
+//!
+//! * [`types`] — the [`Scheduler`](types::Scheduler) trait, the view of
+//!   system state schedulers observe, and the actions they emit,
+//! * [`manager`] — the LoongServe global manager's four-step algorithm
+//!   (dispatching, elastic instance allocation, DP batching, scaling plan
+//!   generation; paper §5),
+//! * [`baselines`] — vLLM-style static tensor parallelism, chunked prefill
+//!   (DeepSpeed-MII / LightLLM SplitFuse), DistServe-style prefill–decode
+//!   disaggregation, static hybrid TP×SP, and replicated instances.
+//!
+//! # Examples
+//!
+//! ```
+//! use loong_sched::prelude::*;
+//!
+//! let loongserve = LoongServeScheduler::new();
+//! let vllm = IndependentInstancesScheduler::vllm();
+//! assert_eq!(loongserve.name(), "LoongServe");
+//! assert!(vllm.name().contains("vLLM"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod manager;
+pub mod types;
+
+pub use baselines::{
+    DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler, StaticHybridScheduler,
+};
+pub use manager::{LoongServeConfig, LoongServeScheduler};
+pub use types::{
+    Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
+    SchedulerView,
+};
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::baselines::{
+        DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler,
+        StaticHybridScheduler,
+    };
+    pub use crate::manager::{LoongServeConfig, LoongServeScheduler};
+    pub use crate::types::{
+        Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
+        SchedulerView,
+    };
+}

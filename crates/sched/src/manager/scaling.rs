@@ -1,0 +1,371 @@
+//! Step 4 of the global manager: elastic scaling plan generation (paper §5.4).
+//!
+//! Two kinds of plans are produced here:
+//!
+//! * **Proactive scale-down of prefill batches** — the decode phase scales
+//!   poorly, so after its prefill every batch shrinks to the minimum number
+//!   of instances whose free KV slots can hold the batch's tokens (plus the
+//!   expected output growth). The shrink itself is free because it is folded
+//!   into the prefill ring (§4.1).
+//! * **Decode group formation and scale-up** — ready decode requests are
+//!   grouped by the instances holding their KV; a group scales up (gaining
+//!   fresh masters, no migration) when its KV pool is nearly full or its
+//!   batch size crosses the compute-bound threshold.
+
+use crate::types::{DecodingRequest, SchedulerView};
+use loong_simcore::ids::{InstanceId, RequestId};
+
+/// A planned decode iteration group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeGroupPlan {
+    /// Instances forming the group (always a superset of the instances
+    /// holding the member requests' KV).
+    pub instances: Vec<InstanceId>,
+    /// Master instances.
+    pub masters: Vec<InstanceId>,
+    /// Member requests.
+    pub requests: Vec<RequestId>,
+    /// Number of instances added by scale-up when forming this group.
+    pub scaled_up_by: usize,
+}
+
+/// Chooses the retained (post-prefill) instances for a prefill batch: the
+/// smallest subset of `batch_instances`, preferring instances with the most
+/// free KV slots, whose combined free slots hold the batch tokens plus the
+/// expected output growth.
+pub fn plan_scale_down(
+    view: &SchedulerView<'_>,
+    batch_instances: &[InstanceId],
+    batch_tokens: u64,
+    expected_output_tokens: u64,
+) -> Vec<InstanceId> {
+    let needed = batch_tokens + expected_output_tokens;
+    let mut ranked: Vec<(InstanceId, u64)> = batch_instances
+        .iter()
+        .map(|&i| (i, view.pool.instance(i).free()))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut retained = Vec::new();
+    let mut covered = 0u64;
+    for (inst, free) in ranked {
+        retained.push(inst);
+        covered += free;
+        if covered >= needed {
+            break;
+        }
+    }
+    // Even if the whole batch set cannot cover the estimate, retain it all —
+    // the prefill plan's own capacity check is the hard constraint.
+    retained.sort();
+    retained
+}
+
+/// Forms decode groups from the ready decode requests whose KV lives
+/// entirely on `available` (idle, unclaimed) instances, and decides
+/// per-group scale-up.
+///
+/// Returns the group plans plus the list of requests that could not be
+/// grouped this round (their KV overlaps unavailable instances).
+pub fn plan_decode_groups(
+    view: &SchedulerView<'_>,
+    available: &[InstanceId],
+    enable_scale_up: bool,
+) -> (Vec<DecodeGroupPlan>, Vec<RequestId>) {
+    // Requests whose KV is fully on available instances can run; others must
+    // wait for their instances to free up.
+    let (ready, blocked): (Vec<&DecodingRequest>, Vec<&DecodingRequest>) = view
+        .decoding
+        .iter()
+        .partition(|d| d.kv_instances.iter().all(|i| available.contains(i)));
+    let blocked_ids = blocked.iter().map(|d| d.id).collect();
+    if ready.is_empty() {
+        return (Vec::new(), blocked_ids);
+    }
+
+    // Union requests into connected components over shared KV instances.
+    let mut components: Vec<(Vec<InstanceId>, Vec<&DecodingRequest>)> = Vec::new();
+    for req in ready {
+        let mut merged_instances: Vec<InstanceId> = req.kv_instances.clone();
+        let mut merged_requests = vec![req];
+        // Pull in every existing component that shares an instance.
+        let mut i = 0;
+        while i < components.len() {
+            let overlaps = components[i]
+                .0
+                .iter()
+                .any(|inst| merged_instances.contains(inst));
+            if overlaps {
+                let (insts, reqs) = components.swap_remove(i);
+                for inst in insts {
+                    if !merged_instances.contains(&inst) {
+                        merged_instances.push(inst);
+                    }
+                }
+                merged_requests.extend(reqs);
+            } else {
+                i += 1;
+            }
+        }
+        components.push((merged_instances, merged_requests));
+    }
+
+    // Track which available instances are already claimed by a component so
+    // scale-up never double-books an instance.
+    let mut claimed: Vec<InstanceId> = components
+        .iter()
+        .flat_map(|(insts, _)| insts.clone())
+        .collect();
+
+    let threshold = view
+        .sib
+        .decode_threshold(view.registry.tp())
+        .unwrap_or_else(|| {
+            view.cost_model
+                .decode_compute_bound_batch_size(view.registry.tp())
+        });
+
+    let mut plans = Vec::new();
+    for (mut instances, requests) in components {
+        instances.sort();
+        let batch_size = requests.len();
+        let mut scaled_up_by = 0usize;
+
+        if enable_scale_up {
+            // Memory trigger: the group needs at least one free slot per
+            // request per iteration; keep a comfortable runway of 64
+            // iterations so scale-up happens before the pool is exhausted.
+            let runway_tokens = batch_size as u64 * 64;
+            // Compute trigger: FFN work becomes the bottleneck once the
+            // per-master batch exceeds the profiled threshold.
+            let spare: Vec<InstanceId> = available
+                .iter()
+                .copied()
+                .filter(|i| !claimed.contains(i))
+                .collect();
+            let mut spare_iter = spare.into_iter();
+            loop {
+                let free: u64 = view.free_slots_on(&instances);
+                let memory_pressure = free < runway_tokens;
+                let compute_pressure = batch_size > threshold * instances.len();
+                if !memory_pressure && !compute_pressure {
+                    break;
+                }
+                let Some(extra) = spare_iter.next() else {
+                    break;
+                };
+                instances.push(extra);
+                claimed.push(extra);
+                scaled_up_by += 1;
+            }
+            instances.sort();
+        }
+
+        // Multi-master: every instance with at least one free slot can
+        // absorb new KV; fall back to all instances if none has room (the
+        // engine will surface the capacity error).
+        let mut masters: Vec<InstanceId> = instances
+            .iter()
+            .copied()
+            .filter(|&i| view.pool.instance(i).free() > 0)
+            .collect();
+        if masters.is_empty() {
+            masters = instances.clone();
+        }
+
+        plans.push(DecodeGroupPlan {
+            instances,
+            masters,
+            requests: requests.iter().map(|r| r.id).collect(),
+            scaled_up_by,
+        });
+    }
+    (plans, blocked_ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PendingRequest;
+    use loong_cluster::topology::ClusterSpec;
+    use loong_esp::instance::InstanceRegistry;
+    use loong_kvcache::unified::UnifiedKvPool;
+    use loong_model::config::ModelConfig;
+    use loong_model::roofline::CostModel;
+    use loong_model::sib::ScalingInfoBase;
+    use loong_simcore::ids::RequestId;
+    use loong_simcore::time::SimTime;
+
+    struct Fixture {
+        registry: InstanceRegistry,
+        cost_model: CostModel,
+        sib: ScalingInfoBase,
+        pool: UnifiedKvPool,
+        pending: Vec<PendingRequest>,
+        decoding: Vec<DecodingRequest>,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            registry: InstanceRegistry::build(&ClusterSpec::single_node_a800(8), 2),
+            cost_model: CostModel::new(ModelConfig::lwm_1m_text()),
+            sib: ScalingInfoBase::new(),
+            pool: UnifiedKvPool::new(4, 500_000),
+            pending: vec![],
+            decoding: vec![],
+        }
+    }
+
+    fn view<'a>(f: &'a Fixture, idle: &'a [InstanceId]) -> SchedulerView<'a> {
+        SchedulerView {
+            now: SimTime::ZERO,
+            pending: &f.pending,
+            decoding: &f.decoding,
+            idle_instances: idle,
+            busy_instances: &[],
+            pool: &f.pool,
+            registry: &f.registry,
+            cost_model: &f.cost_model,
+            sib: &f.sib,
+            avg_decode_latency_s: 0.0,
+        }
+    }
+
+    fn decoding(id: u64, context: u64, kv: &[u64]) -> DecodingRequest {
+        DecodingRequest {
+            id: RequestId(id),
+            context_len: context,
+            generated: 1,
+            decode_time_s: 0.0,
+            kv_instances: kv.iter().map(|&i| InstanceId(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn scale_down_picks_minimal_cover() {
+        let f = fixture();
+        let idle = f.registry.all_ids();
+        let v = view(&f, &idle);
+        // 300K tokens (plus small growth) fit on a single 500K-slot instance.
+        let retained = plan_scale_down(&v, &idle, 300_000, 2_000);
+        assert_eq!(retained.len(), 1);
+        // 900K tokens need two instances.
+        let retained = plan_scale_down(&v, &idle, 900_000, 0);
+        assert_eq!(retained.len(), 2);
+    }
+
+    #[test]
+    fn scale_down_never_exceeds_batch_instances() {
+        let f = fixture();
+        let idle = f.registry.all_ids();
+        let v = view(&f, &idle);
+        let retained = plan_scale_down(&v, &idle, 10_000_000, 0);
+        assert_eq!(
+            retained.len(),
+            4,
+            "cannot retain more instances than the batch used"
+        );
+    }
+
+    #[test]
+    fn decode_groups_merge_overlapping_requests() {
+        let mut f = fixture();
+        f.decoding = vec![
+            decoding(0, 1_000, &[0]),
+            decoding(1, 1_000, &[0, 1]),
+            decoding(2, 1_000, &[2]),
+        ];
+        let idle = f.registry.all_ids();
+        let v = view(&f, &idle);
+        let (plans, blocked) = plan_decode_groups(&v, &idle, true);
+        assert!(blocked.is_empty());
+        assert_eq!(plans.len(), 2);
+        let merged = plans
+            .iter()
+            .find(|p| p.requests.contains(&RequestId(0)))
+            .expect("exists");
+        assert!(merged.requests.contains(&RequestId(1)));
+        assert!(
+            merged.instances.contains(&InstanceId(0)) && merged.instances.contains(&InstanceId(1))
+        );
+    }
+
+    #[test]
+    fn blocked_requests_are_reported() {
+        let mut f = fixture();
+        f.decoding = vec![decoding(0, 1_000, &[0]), decoding(1, 1_000, &[3])];
+        let idle = vec![InstanceId(0), InstanceId(1)];
+        let v = view(&f, &idle);
+        let (plans, blocked) = plan_decode_groups(&v, &idle, true);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(blocked, vec![RequestId(1)]);
+    }
+
+    #[test]
+    fn memory_pressure_triggers_scale_up() {
+        let mut f = fixture();
+        // Instance 0 is nearly full; the decode group should pull in another
+        // available instance.
+        f.pool = UnifiedKvPool::with_capacities(&[1_010, 500_000, 500_000, 500_000]);
+        f.pool
+            .append(RequestId(0), InstanceId(0), 1_000)
+            .expect("room");
+        f.decoding = vec![decoding(0, 1_000, &[0])];
+        let idle = f.registry.all_ids();
+        let v = view(&f, &idle);
+        let (plans, _) = plan_decode_groups(&v, &idle, true);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].scaled_up_by >= 1, "expected a scale-up");
+        assert!(plans[0].instances.len() >= 2);
+
+        // With scale-up disabled (the Figure 13a ablation) the group stays
+        // at one instance.
+        let (plans, _) = plan_decode_groups(&v, &idle, false);
+        assert_eq!(plans[0].instances.len(), 1);
+        assert_eq!(plans[0].scaled_up_by, 0);
+    }
+
+    #[test]
+    fn compute_pressure_triggers_scale_up() {
+        let mut f = fixture();
+        // A very large decode batch resident on one instance crosses the
+        // compute-bound threshold.
+        let threshold = f.cost_model.decode_compute_bound_batch_size(2);
+        for i in 0..(threshold as u64 * 2) {
+            f.pool
+                .append(RequestId(i), InstanceId(0), 10)
+                .expect("room");
+            f.decoding.push(decoding(i, 10, &[0]));
+        }
+        let idle = f.registry.all_ids();
+        let v = view(&f, &idle);
+        let (plans, _) = plan_decode_groups(&v, &idle, true);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].scaled_up_by >= 1);
+    }
+
+    #[test]
+    fn full_masters_are_excluded() {
+        let mut f = fixture();
+        f.pool = UnifiedKvPool::with_capacities(&[1_000, 500_000]);
+        f.pool
+            .append(RequestId(0), InstanceId(0), 1_000)
+            .expect("room");
+        f.pool
+            .append(RequestId(1), InstanceId(1), 1_000)
+            .expect("room");
+        f.decoding = vec![decoding(0, 1_000, &[0]), decoding(1, 1_000, &[1])];
+        let idle = vec![InstanceId(0), InstanceId(1)];
+        let v = view(&f, &idle);
+        let (plans, _) = plan_decode_groups(&v, &idle, false);
+        for plan in plans {
+            if plan.instances.contains(&InstanceId(0)) && plan.instances.len() == 1 {
+                // Instance 0 is full, but it is the only instance, so it must
+                // remain a master (the engine will surface the error).
+                assert_eq!(plan.masters, vec![InstanceId(0)]);
+            }
+            if plan.instances.contains(&InstanceId(1)) {
+                assert!(plan.masters.contains(&InstanceId(1)));
+            }
+        }
+    }
+}

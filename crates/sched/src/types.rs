@@ -1,0 +1,238 @@
+//! The scheduler interface shared by LoongServe and every baseline.
+//!
+//! The serving engine (in the `loongserve` crate) owns the simulation loop:
+//! it tracks request state, executes iterations, and advances the clock. At
+//! every scheduling point — a request arrival while resources are idle, or a
+//! parallel group finishing an iteration — it hands the scheduler a
+//! [`SchedulerView`] of the current state and receives a list of
+//! [`Action`]s to execute. Re-forming batches and groups from scratch at
+//! every scheduling point is exactly the iteration-granularity flexibility
+//! ESP exploits; static baselines simply return the same shapes every time.
+
+use loong_esp::instance::InstanceRegistry;
+use loong_kvcache::unified::UnifiedKvPool;
+use loong_model::roofline::CostModel;
+use loong_model::sib::ScalingInfoBase;
+use loong_simcore::ids::{InstanceId, RequestId};
+use loong_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A request waiting in the pending queue (prefill not yet started, or only
+/// partially processed by a chunked-prefill baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingRequest {
+    /// The request.
+    pub id: RequestId,
+    /// Arrival time (the queue is kept in FCFS order).
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub input_len: u64,
+    /// Prompt tokens already processed by previous chunked-prefill
+    /// iterations (zero for untouched requests).
+    pub prefilled_len: u64,
+    /// User-declared bound on the output length, used for admission control.
+    pub max_output_len: u64,
+}
+
+impl PendingRequest {
+    /// Prompt tokens still to be processed.
+    pub fn remaining_prefill(&self) -> u64 {
+        self.input_len - self.prefilled_len
+    }
+}
+
+/// A request in the decode phase that is ready for its next iteration (not
+/// currently executing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodingRequest {
+    /// The request.
+    pub id: RequestId,
+    /// Current context length (prompt + generated) in tokens.
+    pub context_len: u64,
+    /// Output tokens generated so far.
+    pub generated: u64,
+    /// Time already spent in the decode phase, in seconds (used by the
+    /// dispatching gain/cost estimate, Eq. 2).
+    pub decode_time_s: f64,
+    /// Instances currently holding this request's KV tokens.
+    pub kv_instances: Vec<InstanceId>,
+}
+
+/// Everything a scheduler may observe when making a decision.
+pub struct SchedulerView<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Pending requests in FCFS order.
+    pub pending: &'a [PendingRequest],
+    /// Decode-phase requests ready for their next iteration.
+    pub decoding: &'a [DecodingRequest],
+    /// Instances with no iteration in flight.
+    pub idle_instances: &'a [InstanceId],
+    /// Instances currently executing, with the time their iteration ends.
+    pub busy_instances: &'a [(InstanceId, SimTime)],
+    /// The unified KV pool (read-only).
+    pub pool: &'a UnifiedKvPool,
+    /// The elastic-instance registry.
+    pub registry: &'a InstanceRegistry,
+    /// The roofline cost model.
+    pub cost_model: &'a CostModel,
+    /// The scaling information base (profiles, fitted models, thresholds).
+    pub sib: &'a ScalingInfoBase,
+    /// Mean normalised decode latency of finished requests so far (the
+    /// `AvgLat_d` term of Eq. 2); zero until the first request finishes.
+    pub avg_decode_latency_s: f64,
+}
+
+impl SchedulerView<'_> {
+    /// Free KV slots across a set of instances.
+    pub fn free_slots_on(&self, instances: &[InstanceId]) -> u64 {
+        self.pool
+            .free_slots_on(instances)
+            .iter()
+            .map(|(_, f)| f)
+            .sum()
+    }
+
+    /// The decoding requests whose KV overlaps any of `instances`.
+    pub fn decoding_resident_on(&self, instances: &[InstanceId]) -> Vec<&DecodingRequest> {
+        self.decoding
+            .iter()
+            .filter(|d| d.kv_instances.iter().any(|i| instances.contains(i)))
+            .collect()
+    }
+}
+
+/// One scheduling decision for the engine to execute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Run a full prefill iteration for `requests` on `instances`, retaining
+    /// the resulting KV on `retain_on` (proactive scale-down when
+    /// `retain_on` is a strict subset).
+    Prefill {
+        /// Instances forming the prefill parallel group.
+        instances: Vec<InstanceId>,
+        /// Requests to prefill (must currently be pending and untouched).
+        requests: Vec<RequestId>,
+        /// Instances on which the KV is retained for the decode phase.
+        retain_on: Vec<InstanceId>,
+    },
+    /// Run one decode iteration for `requests` on `instances` with the given
+    /// master set.
+    Decode {
+        /// Instances forming the decode parallel group. Must include every
+        /// instance holding KV of the batch's requests.
+        instances: Vec<InstanceId>,
+        /// Master instances (subset of `instances`).
+        masters: Vec<InstanceId>,
+        /// Requests to advance by one token.
+        requests: Vec<RequestId>,
+    },
+    /// Run a mixed chunked-prefill iteration (SplitFuse-style baselines): a
+    /// chunk of `chunk_tokens` prompt tokens of `prefill_request` is fused
+    /// with one decode step for `decode_requests`.
+    ChunkedPrefill {
+        /// Instances forming the group.
+        instances: Vec<InstanceId>,
+        /// The request whose prompt is being chunked.
+        prefill_request: RequestId,
+        /// Number of prompt tokens to process this iteration.
+        chunk_tokens: u64,
+        /// Decode-phase requests fused into the same iteration.
+        decode_requests: Vec<RequestId>,
+    },
+    /// Migrate all KV of `request` onto `targets` (reactive migration;
+    /// charged as busy time on the involved instances).
+    Migrate {
+        /// The request whose KV moves.
+        request: RequestId,
+        /// The destination instances.
+        targets: Vec<InstanceId>,
+    },
+    /// Reject a request the system cannot serve (e.g. it exceeds the KV
+    /// capacity available under the system's placement constraints).
+    Reject {
+        /// The rejected request.
+        request: RequestId,
+        /// Human-readable reason recorded in the run report.
+        reason: String,
+    },
+}
+
+/// Kinds of elastic scaling events, counted for Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingEventKind {
+    /// A decode group grew (memory- or compute-triggered).
+    ScaleUp,
+    /// A prefill group proactively shrank at the prefill/decode boundary.
+    ProactiveScaleDown,
+    /// A decode group shrank with explicit migration.
+    ReactiveScaleDown,
+}
+
+/// A timestamped scaling event emitted by a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingEvent {
+    /// When the decision was made.
+    pub at: SimTime,
+    /// What kind of scaling occurred.
+    pub kind: ScalingEventKind,
+    /// Change in the number of instances involved (positive for scale-up).
+    pub delta_instances: i64,
+}
+
+/// The scheduling policy interface.
+pub trait Scheduler {
+    /// Human-readable name used in reports (e.g. "LoongServe", "vLLM").
+    fn name(&self) -> String;
+
+    /// Produces the actions to take given the current view. Called whenever
+    /// resources free up or new work arrives; returning no actions means
+    /// "wait for the next event".
+    fn schedule(&mut self, view: &SchedulerView<'_>) -> Vec<Action>;
+
+    /// Scaling events recorded so far (Figure 13b). Baselines that never
+    /// scale return an empty slice.
+    fn scaling_events(&self) -> &[ScalingEvent] {
+        &[]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_remaining_prefill() {
+        let p = PendingRequest {
+            id: RequestId(0),
+            arrival: SimTime::ZERO,
+            input_len: 100,
+            prefilled_len: 30,
+            max_output_len: 64,
+        };
+        assert_eq!(p.remaining_prefill(), 70);
+    }
+
+    #[test]
+    fn actions_serialise() {
+        let a = Action::Prefill {
+            instances: vec![InstanceId(0)],
+            requests: vec![RequestId(1)],
+            retain_on: vec![InstanceId(0)],
+        };
+        let json = serde_json::to_string(&a).expect("serialise");
+        let back: Action = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn scaling_event_kinds_compare() {
+        let e = ScalingEvent {
+            at: SimTime::ZERO,
+            kind: ScalingEventKind::ScaleUp,
+            delta_instances: 1,
+        };
+        assert_eq!(e.kind, ScalingEventKind::ScaleUp);
+        assert_ne!(e.kind, ScalingEventKind::ReactiveScaleDown);
+    }
+}

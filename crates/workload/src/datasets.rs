@@ -1,0 +1,345 @@
+//! Dataset length models.
+//!
+//! The paper evaluates on three real datasets plus a mixture (§7.1):
+//!
+//! * **ShareGPT** — conversational traffic, 4–2.3K-token prompts with
+//!   relatively long generated outputs,
+//! * **L-Eval** — long-document tasks, 2.7K–210.5K-token prompts with short
+//!   answers,
+//! * **LV-Eval** — the longest-context QA benchmark available at the time,
+//!   15.1K–497.3K-token prompts with very short answers,
+//! * **Mixed** — an equal-probability mixture of the three,
+//!
+//! and, for the Figure 12 ablation, Zipf-reshaped variants of the mixture
+//! capped at 200K tokens. The real traces are not redistributable, so this
+//! module provides synthetic samplers calibrated to the published ranges;
+//! the serving-system comparison depends only on the joint distribution of
+//! input/output lengths, which these samplers reproduce.
+
+use loong_simcore::distributions::{Empirical, LogNormal, LogUniform, Zipf};
+use loong_simcore::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A sampled (input length, output length) pair in tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LengthSample {
+    /// Prompt length in tokens.
+    pub input_len: u64,
+    /// Generated output length in tokens.
+    pub output_len: u64,
+}
+
+/// The workload families used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// ShareGPT-like conversational traffic (short prompts, long outputs).
+    ShareGpt,
+    /// L-Eval-like long-document tasks (2.7K–210.5K prompts, short outputs).
+    LEval,
+    /// LV-Eval-like extreme-context QA (15.1K–497.3K prompts, tiny outputs).
+    LvEval,
+    /// Equal mixture of the three datasets.
+    Mixed,
+}
+
+impl DatasetKind {
+    /// All dataset kinds, in the order the paper's Figure 10 rows use.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::ShareGpt,
+            DatasetKind::LEval,
+            DatasetKind::LvEval,
+            DatasetKind::Mixed,
+        ]
+    }
+
+    /// Human-readable name matching the paper's figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::ShareGpt => "ShareGPT",
+            DatasetKind::LEval => "L-Eval",
+            DatasetKind::LvEval => "LV-Eval",
+            DatasetKind::Mixed => "Mixed",
+        }
+    }
+
+    /// The request rates (requests/second) swept for this dataset in
+    /// Figure 10. Longer-context datasets saturate the cluster at much lower
+    /// rates.
+    pub fn figure10_rates(&self) -> Vec<f64> {
+        match self {
+            DatasetKind::ShareGpt => vec![2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0],
+            DatasetKind::LEval => vec![0.25, 0.5, 1.0, 1.5, 2.0, 2.5],
+            DatasetKind::LvEval => vec![0.025, 0.05, 0.075, 0.1, 0.15, 0.2],
+            DatasetKind::Mixed => vec![0.05, 0.1, 0.2, 0.3, 0.45, 0.6],
+        }
+    }
+}
+
+/// A sampler of request lengths for one dataset family.
+#[derive(Debug, Clone)]
+pub struct DatasetSampler {
+    kind: DatasetKind,
+    sharegpt_input: LogNormal,
+    sharegpt_output: LogNormal,
+    leval_input: LogUniform,
+    leval_output: LogNormal,
+    lveval_input: LogUniform,
+    lveval_output: LogUniform,
+    mixture: Empirical<u8>,
+    /// Optional hard cap applied to sampled input lengths.
+    max_input_len: Option<u64>,
+}
+
+impl DatasetSampler {
+    /// Creates a sampler for the given dataset family.
+    pub fn new(kind: DatasetKind) -> Self {
+        DatasetSampler {
+            kind,
+            // ShareGPT: median prompt around 250 tokens, hard range 4–2.3K
+            // (the ChatGPT-3.5 context window at collection time), outputs a
+            // few hundred tokens.
+            sharegpt_input: LogNormal::new(5.5, 1.0, 4.0, 2_300.0),
+            sharegpt_output: LogNormal::new(5.3, 0.9, 4.0, 2_000.0),
+            // L-Eval: documents spread log-uniformly over 2.7K–210.5K with
+            // answers of a few hundred tokens.
+            leval_input: LogUniform::new(2_700.0, 210_500.0),
+            leval_output: LogNormal::new(5.0, 0.8, 16.0, 1_000.0),
+            // LV-Eval: 15.1K–497.3K prompts, short extractive answers.
+            lveval_input: LogUniform::new(15_100.0, 497_300.0),
+            lveval_output: LogUniform::new(8.0, 128.0),
+            mixture: Empirical::new(vec![(0u8, 1.0), (1u8, 1.0), (2u8, 1.0)]),
+            max_input_len: None,
+        }
+    }
+
+    /// Applies a hard cap to sampled input lengths (used by the Figure 12
+    /// ablation, which limits requests to 200K tokens so the replicated
+    /// baseline can serve them at all).
+    pub fn with_max_input_len(mut self, cap: u64) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        self.max_input_len = Some(cap);
+        self
+    }
+
+    /// The dataset family this sampler draws from.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Draws one (input, output) length pair.
+    pub fn sample(&self, rng: &mut SimRng) -> LengthSample {
+        let raw = match self.kind {
+            DatasetKind::ShareGpt => self.sample_sharegpt(rng),
+            DatasetKind::LEval => self.sample_leval(rng),
+            DatasetKind::LvEval => self.sample_lveval(rng),
+            DatasetKind::Mixed => match self.mixture.sample(rng) {
+                0 => self.sample_sharegpt(rng),
+                1 => self.sample_leval(rng),
+                _ => self.sample_lveval(rng),
+            },
+        };
+        self.apply_cap(raw)
+    }
+
+    fn apply_cap(&self, mut s: LengthSample) -> LengthSample {
+        if let Some(cap) = self.max_input_len {
+            s.input_len = s.input_len.min(cap);
+        }
+        s
+    }
+
+    fn sample_sharegpt(&self, rng: &mut SimRng) -> LengthSample {
+        LengthSample {
+            input_len: self.sharegpt_input.sample(rng).round().max(4.0) as u64,
+            output_len: self.sharegpt_output.sample(rng).round().max(4.0) as u64,
+        }
+    }
+
+    fn sample_leval(&self, rng: &mut SimRng) -> LengthSample {
+        LengthSample {
+            input_len: self.leval_input.sample(rng).round() as u64,
+            output_len: self.leval_output.sample(rng).round().max(16.0) as u64,
+        }
+    }
+
+    fn sample_lveval(&self, rng: &mut SimRng) -> LengthSample {
+        LengthSample {
+            input_len: self.lveval_input.sample(rng).round() as u64,
+            output_len: self.lveval_output.sample(rng).round().max(8.0) as u64,
+        }
+    }
+}
+
+/// The Zipf-reshaped mixture of Figure 12.
+///
+/// Requests are drawn from the Mixed dataset, but the choice of source
+/// dataset is ranked (ShareGPT shortest → LV-Eval longest) and sampled by a
+/// Zipf distribution with the given exponent, then capped at 200K input
+/// tokens. Larger exponents skew the workload towards short requests.
+#[derive(Debug, Clone)]
+pub struct ZipfMixedSampler {
+    zipf: Zipf,
+    sharegpt: DatasetSampler,
+    leval: DatasetSampler,
+    lveval: DatasetSampler,
+}
+
+impl ZipfMixedSampler {
+    /// Input-length cap used by the Figure 12 ablation.
+    pub const INPUT_CAP: u64 = 200_000;
+
+    /// Creates a sampler with the given Zipf exponent (the paper uses 1.0,
+    /// 1.2 and 1.4).
+    pub fn new(exponent: f64) -> Self {
+        ZipfMixedSampler {
+            zipf: Zipf::new(3, exponent),
+            sharegpt: DatasetSampler::new(DatasetKind::ShareGpt)
+                .with_max_input_len(Self::INPUT_CAP),
+            leval: DatasetSampler::new(DatasetKind::LEval).with_max_input_len(Self::INPUT_CAP),
+            lveval: DatasetSampler::new(DatasetKind::LvEval).with_max_input_len(Self::INPUT_CAP),
+        }
+    }
+
+    /// The Zipf exponent.
+    pub fn exponent(&self) -> f64 {
+        self.zipf.exponent()
+    }
+
+    /// Draws one (input, output) length pair.
+    pub fn sample(&self, rng: &mut SimRng) -> LengthSample {
+        match self.zipf.sample(rng) {
+            1 => self.sharegpt.sample(rng),
+            2 => self.leval.sample(rng),
+            _ => self.lveval.sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_range(kind: DatasetKind, min_in: u64, max_in: u64) {
+        let sampler = DatasetSampler::new(kind);
+        let mut rng = SimRng::seed(7);
+        for _ in 0..2000 {
+            let s = sampler.sample(&mut rng);
+            assert!(
+                s.input_len >= min_in && s.input_len <= max_in,
+                "{}: input {} outside [{min_in}, {max_in}]",
+                kind.name(),
+                s.input_len
+            );
+            assert!(s.output_len >= 1);
+        }
+    }
+
+    #[test]
+    fn sharegpt_range_matches_paper() {
+        check_range(DatasetKind::ShareGpt, 4, 2_300);
+    }
+
+    #[test]
+    fn leval_range_matches_paper() {
+        check_range(DatasetKind::LEval, 2_700, 210_500);
+    }
+
+    #[test]
+    fn lveval_range_matches_paper() {
+        check_range(DatasetKind::LvEval, 15_100, 497_300);
+    }
+
+    #[test]
+    fn mixed_covers_all_sources() {
+        let sampler = DatasetSampler::new(DatasetKind::Mixed);
+        let mut rng = SimRng::seed(11);
+        let mut short = 0usize;
+        let mut long = 0usize;
+        for _ in 0..2000 {
+            let s = sampler.sample(&mut rng);
+            if s.input_len <= 2_300 {
+                short += 1;
+            }
+            if s.input_len >= 15_100 {
+                long += 1;
+            }
+        }
+        assert!(
+            short > 200,
+            "mixed workload missing short requests ({short})"
+        );
+        assert!(long > 200, "mixed workload missing long requests ({long})");
+    }
+
+    #[test]
+    fn sharegpt_outputs_are_longer_than_lveval_outputs() {
+        // The ShareGPT row of Figure 13 relies on long decode phases; the
+        // LV-Eval row on very short ones.
+        let mut rng = SimRng::seed(13);
+        let sg = DatasetSampler::new(DatasetKind::ShareGpt);
+        let lv = DatasetSampler::new(DatasetKind::LvEval);
+        let n = 2000;
+        let sg_mean: f64 = (0..n)
+            .map(|_| sg.sample(&mut rng).output_len as f64)
+            .sum::<f64>()
+            / n as f64;
+        let lv_mean: f64 = (0..n)
+            .map(|_| lv.sample(&mut rng).output_len as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            sg_mean > 2.0 * lv_mean,
+            "ShareGPT {sg_mean} vs LV-Eval {lv_mean}"
+        );
+    }
+
+    #[test]
+    fn input_cap_is_enforced() {
+        let sampler = DatasetSampler::new(DatasetKind::LvEval).with_max_input_len(200_000);
+        let mut rng = SimRng::seed(17);
+        for _ in 0..2000 {
+            assert!(sampler.sample(&mut rng).input_len <= 200_000);
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_skews_towards_short_requests() {
+        let mut rng_a = SimRng::seed(23);
+        let mut rng_b = SimRng::seed(23);
+        let mild = ZipfMixedSampler::new(1.0);
+        let steep = ZipfMixedSampler::new(1.4);
+        let n = 4000;
+        let mean = |sampler: &ZipfMixedSampler, rng: &mut SimRng| -> f64 {
+            (0..n)
+                .map(|_| sampler.sample(rng).input_len as f64)
+                .sum::<f64>()
+                / n as f64
+        };
+        let mild_mean = mean(&mild, &mut rng_a);
+        let steep_mean = mean(&steep, &mut rng_b);
+        assert!(
+            steep_mean < mild_mean,
+            "steeper Zipf should shorten the mean input ({steep_mean} vs {mild_mean})"
+        );
+        assert!((mild.exponent() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_mixed_respects_cap() {
+        let sampler = ZipfMixedSampler::new(1.2);
+        let mut rng = SimRng::seed(29);
+        for _ in 0..2000 {
+            assert!(sampler.sample(&mut rng).input_len <= ZipfMixedSampler::INPUT_CAP);
+        }
+    }
+
+    #[test]
+    fn dataset_metadata_is_consistent() {
+        assert_eq!(DatasetKind::all().len(), 4);
+        for kind in DatasetKind::all() {
+            assert!(!kind.name().is_empty());
+            assert!(!kind.figure10_rates().is_empty());
+        }
+    }
+}

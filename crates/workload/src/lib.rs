@@ -1,0 +1,47 @@
+//! # loong-workload
+//!
+//! Workload modelling for LoongServe-RS: requests, dataset length
+//! distributions, arrival processes and fully materialised traces.
+//!
+//! The paper's evaluation (§7.1) samples request lengths from ShareGPT,
+//! L-Eval and LV-Eval and generates arrivals with a Poisson process. The
+//! real traces are not redistributable, so [`datasets`] provides synthetic
+//! samplers calibrated to the published token ranges; see `DESIGN.md` for
+//! the substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use loong_workload::prelude::*;
+//! use loong_simcore::SimRng;
+//!
+//! let mut rng = SimRng::seed(7);
+//! let trace = Trace::generate(
+//!     DatasetKind::Mixed,
+//!     ArrivalProcess::Poisson { rate: 0.3 },
+//!     100,
+//!     &mut rng,
+//! );
+//! assert_eq!(trace.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrival;
+pub mod datasets;
+pub mod request;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use datasets::{DatasetKind, DatasetSampler, LengthSample, ZipfMixedSampler};
+pub use request::Request;
+pub use trace::{Trace, TraceStats};
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::arrival::ArrivalProcess;
+    pub use crate::datasets::{DatasetKind, DatasetSampler, LengthSample, ZipfMixedSampler};
+    pub use crate::request::Request;
+    pub use crate::trace::{Trace, TraceStats};
+}

@@ -1,0 +1,139 @@
+//! The serving request model.
+//!
+//! A request arrives with a prompt of `input_len` tokens, is processed by a
+//! single prefill iteration (possibly chunked by some baselines), and then
+//! generates `output_len` tokens one decode iteration at a time. The
+//! simulator knows the true output length up front (it is sampled with the
+//! request), but schedulers are only allowed to see `max_output_len`, the
+//! user-declared bound that the paper's dispatcher uses to reason about
+//! future KV-cache consumption (§5.1).
+
+use loong_simcore::ids::RequestId;
+use loong_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// An immutable description of one serving request.
+///
+/// # Examples
+///
+/// ```
+/// use loong_workload::request::Request;
+/// use loong_simcore::ids::RequestId;
+/// use loong_simcore::time::SimTime;
+///
+/// let r = Request::new(RequestId(0), SimTime::ZERO, 1000, 50);
+/// assert_eq!(r.total_tokens(), 1050);
+/// assert!(r.max_output_len >= r.output_len);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique identifier.
+    pub id: RequestId,
+    /// Arrival time at the serving frontend.
+    pub arrival: SimTime,
+    /// Number of prompt tokens.
+    pub input_len: u64,
+    /// True number of tokens the request will generate (hidden from
+    /// schedulers until generation finishes).
+    pub output_len: u64,
+    /// Upper bound on the output length declared by the user; schedulers may
+    /// use this for admission control.
+    pub max_output_len: u64,
+}
+
+impl Request {
+    /// Creates a request whose declared maximum equals its true output
+    /// length rounded up to a coarse bucket (users rarely know the exact
+    /// length, so the bound is generous).
+    pub fn new(id: RequestId, arrival: SimTime, input_len: u64, output_len: u64) -> Self {
+        assert!(
+            input_len > 0,
+            "requests must have at least one prompt token"
+        );
+        assert!(output_len > 0, "requests must generate at least one token");
+        let max_output_len = output_len.next_power_of_two().max(64);
+        Request {
+            id,
+            arrival,
+            input_len,
+            output_len,
+            max_output_len,
+        }
+    }
+
+    /// Creates a request with an explicit declared output bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_output_len < output_len` or any length is zero.
+    pub fn with_max_output(
+        id: RequestId,
+        arrival: SimTime,
+        input_len: u64,
+        output_len: u64,
+        max_output_len: u64,
+    ) -> Self {
+        assert!(input_len > 0 && output_len > 0, "lengths must be positive");
+        assert!(
+            max_output_len >= output_len,
+            "declared bound {max_output_len} below true output length {output_len}"
+        );
+        Request {
+            id,
+            arrival,
+            input_len,
+            output_len,
+            max_output_len,
+        }
+    }
+
+    /// Total tokens the request will eventually hold in the KV cache.
+    pub fn total_tokens(&self) -> u64 {
+        self.input_len + self.output_len
+    }
+
+    /// Worst-case tokens the request may hold in the KV cache, based on the
+    /// declared output bound.
+    pub fn max_total_tokens(&self) -> u64 {
+        self.input_len + self.max_output_len
+    }
+
+    /// Sequence length (prompt + generated so far) after `generated` output
+    /// tokens have been produced.
+    pub fn context_len_after(&self, generated: u64) -> u64 {
+        self.input_len + generated.min(self.output_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_bound_covers_true_output() {
+        let r = Request::new(RequestId(1), SimTime::ZERO, 100, 37);
+        assert!(r.max_output_len >= 37);
+        assert_eq!(r.total_tokens(), 137);
+        assert!(r.max_total_tokens() >= r.total_tokens());
+    }
+
+    #[test]
+    fn context_len_saturates_at_completion() {
+        let r = Request::new(RequestId(1), SimTime::ZERO, 100, 10);
+        assert_eq!(r.context_len_after(0), 100);
+        assert_eq!(r.context_len_after(5), 105);
+        assert_eq!(r.context_len_after(50), 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prompt token")]
+    fn zero_input_rejected() {
+        let _ = Request::new(RequestId(1), SimTime::ZERO, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "below true output length")]
+    fn inconsistent_bound_rejected() {
+        let _ = Request::with_max_output(RequestId(1), SimTime::ZERO, 10, 10, 5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Workload traces: a concrete list of requests fed to a serving system.
+//!
+//! A [`Trace`] combines a dataset sampler with an arrival process into the
+//! exact sequence of requests a simulation run will serve. Traces are
+//! serialisable so the same trace can be replayed against every system under
+//! comparison — the property that makes the Figure 10/11/12 comparisons
+//! apples-to-apples.
+
+use crate::arrival::ArrivalProcess;
+use crate::datasets::{DatasetKind, DatasetSampler, ZipfMixedSampler};
+use crate::request::Request;
+use loong_simcore::ids::{IdAllocator, RequestId};
+use loong_simcore::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A fully materialised workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Short description of how the trace was generated.
+    pub label: String,
+    /// Requests sorted by arrival time.
+    pub requests: Vec<Request>,
+}
+
+/// Aggregate statistics of a trace, used in experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub count: usize,
+    /// Mean prompt length in tokens.
+    pub mean_input_len: f64,
+    /// Maximum prompt length in tokens.
+    pub max_input_len: u64,
+    /// Mean output length in tokens.
+    pub mean_output_len: f64,
+    /// Maximum output length in tokens.
+    pub max_output_len: u64,
+    /// Mean arrival rate over the trace duration, in requests/second.
+    pub mean_arrival_rate: f64,
+    /// Total prompt tokens across the trace.
+    pub total_input_tokens: u64,
+    /// Total generated tokens across the trace.
+    pub total_output_tokens: u64,
+}
+
+impl Trace {
+    /// Generates a trace of `count` requests from a standard dataset with a
+    /// given arrival process.
+    pub fn generate(
+        dataset: DatasetKind,
+        arrivals: ArrivalProcess,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        let sampler = DatasetSampler::new(dataset);
+        let mut length_rng = rng.fork("lengths");
+        let mut arrival_rng = rng.fork("arrivals");
+        let times = arrivals.generate(count, &mut arrival_rng);
+        let mut ids = IdAllocator::<RequestId>::new();
+        let requests = times
+            .into_iter()
+            .map(|at| {
+                let s = sampler.sample(&mut length_rng);
+                Request::new(ids.next(), at, s.input_len, s.output_len)
+            })
+            .collect();
+        Trace {
+            label: format!("{} @ {:.3} req/s", dataset.name(), arrivals.mean_rate()),
+            requests,
+        }
+    }
+
+    /// Generates a Figure-12-style trace: the Mixed dataset reshaped by a
+    /// Zipf exponent and capped at 200K input tokens.
+    pub fn generate_zipf_mixed(
+        exponent: f64,
+        arrivals: ArrivalProcess,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        let sampler = ZipfMixedSampler::new(exponent);
+        let mut length_rng = rng.fork("zipf-lengths");
+        let mut arrival_rng = rng.fork("zipf-arrivals");
+        let times = arrivals.generate(count, &mut arrival_rng);
+        let mut ids = IdAllocator::<RequestId>::new();
+        let requests = times
+            .into_iter()
+            .map(|at| {
+                let s = sampler.sample(&mut length_rng);
+                Request::new(ids.next(), at, s.input_len, s.output_len)
+            })
+            .collect();
+        Trace {
+            label: format!(
+                "Mixed Zipf={exponent:.1} @ {:.3} req/s",
+                arrivals.mean_rate()
+            ),
+            requests,
+        }
+    }
+
+    /// Builds a trace directly from explicit requests (used by unit tests
+    /// and micro-experiments).
+    pub fn from_requests(label: impl Into<String>, mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| r.arrival);
+        Trace {
+            label: label.into(),
+            requests,
+        }
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns true if the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> TraceStats {
+        let count = self.requests.len();
+        if count == 0 {
+            return TraceStats {
+                count: 0,
+                mean_input_len: 0.0,
+                max_input_len: 0,
+                mean_output_len: 0.0,
+                max_output_len: 0,
+                mean_arrival_rate: 0.0,
+                total_input_tokens: 0,
+                total_output_tokens: 0,
+            };
+        }
+        let total_input_tokens: u64 = self.requests.iter().map(|r| r.input_len).sum();
+        let total_output_tokens: u64 = self.requests.iter().map(|r| r.output_len).sum();
+        let span = self
+            .requests
+            .last()
+            .expect("non-empty")
+            .arrival
+            .saturating_since(self.requests[0].arrival)
+            .as_secs();
+        TraceStats {
+            count,
+            mean_input_len: total_input_tokens as f64 / count as f64,
+            max_input_len: self.requests.iter().map(|r| r.input_len).max().unwrap_or(0),
+            mean_output_len: total_output_tokens as f64 / count as f64,
+            max_output_len: self
+                .requests
+                .iter()
+                .map(|r| r.output_len)
+                .max()
+                .unwrap_or(0),
+            mean_arrival_rate: if span > 0.0 { count as f64 / span } else { 0.0 },
+            total_input_tokens,
+            total_output_tokens,
+        }
+    }
+
+    /// Serialises the trace to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a trace from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loong_simcore::time::SimTime;
+
+    #[test]
+    fn generated_trace_is_sorted_and_sized() {
+        let mut rng = SimRng::seed(5);
+        let trace = Trace::generate(
+            DatasetKind::Mixed,
+            ArrivalProcess::Poisson { rate: 0.5 },
+            200,
+            &mut rng,
+        );
+        assert_eq!(trace.len(), 200);
+        assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic() {
+        let make = || {
+            let mut rng = SimRng::seed(42);
+            Trace::generate(
+                DatasetKind::LEval,
+                ArrivalProcess::Poisson { rate: 1.0 },
+                50,
+                &mut rng,
+            )
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn stats_summarise_the_trace() {
+        let mut rng = SimRng::seed(6);
+        let trace = Trace::generate(
+            DatasetKind::ShareGpt,
+            ArrivalProcess::Poisson { rate: 10.0 },
+            500,
+            &mut rng,
+        );
+        let stats = trace.stats();
+        assert_eq!(stats.count, 500);
+        assert!(stats.mean_input_len > 4.0 && stats.mean_input_len < 2_300.0);
+        assert!(stats.max_input_len <= 2_300);
+        assert!((stats.mean_arrival_rate - 10.0).abs() < 2.0);
+        assert_eq!(
+            stats.total_input_tokens,
+            trace.requests.iter().map(|r| r.input_len).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let trace = Trace::from_requests("empty", vec![]);
+        let stats = trace.stats();
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean_arrival_rate, 0.0);
+    }
+
+    #[test]
+    fn from_requests_sorts_by_arrival() {
+        let r1 = Request::new(RequestId(0), SimTime::from_secs(2.0), 10, 5);
+        let r2 = Request::new(RequestId(1), SimTime::from_secs(1.0), 10, 5);
+        let trace = Trace::from_requests("manual", vec![r1, r2]);
+        assert_eq!(trace.requests[0].id, RequestId(1));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut rng = SimRng::seed(8);
+        let trace = Trace::generate(
+            DatasetKind::LvEval,
+            ArrivalProcess::Poisson { rate: 0.1 },
+            20,
+            &mut rng,
+        );
+        let json = trace.to_json().expect("serialise");
+        let restored = Trace::from_json(&json).expect("deserialise");
+        assert_eq!(trace, restored);
+    }
+
+    #[test]
+    fn zipf_trace_respects_cap() {
+        let mut rng = SimRng::seed(9);
+        let trace =
+            Trace::generate_zipf_mixed(1.2, ArrivalProcess::Poisson { rate: 1.0 }, 300, &mut rng);
+        assert!(trace.requests.iter().all(|r| r.input_len <= 200_000));
+    }
+}

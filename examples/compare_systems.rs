@@ -1,0 +1,78 @@
+//! Compare LoongServe against the paper's baselines on one workload.
+//!
+//! ```bash
+//! cargo run --release --example compare_systems [dataset] [rate] [requests]
+//! ```
+//!
+//! `dataset` is one of `sharegpt`, `leval`, `lveval`, `mixed` (default
+//! `mixed`); `rate` is the offered load in requests/second (default 0.3);
+//! `requests` is the trace length (default 100). The example replays the
+//! *same* trace against every system — LoongServe, vLLM, DeepSpeed-MII,
+//! LightLLM w/ SplitFuse and DistServe — and prints a Figure-10-style
+//! comparison table.
+
+use loongserve::prelude::*;
+
+fn parse_dataset(name: &str) -> DatasetKind {
+    match name.to_ascii_lowercase().as_str() {
+        "sharegpt" => DatasetKind::ShareGpt,
+        "leval" | "l-eval" => DatasetKind::LEval,
+        "lveval" | "lv-eval" => DatasetKind::LvEval,
+        _ => DatasetKind::Mixed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = parse_dataset(args.get(1).map(String::as_str).unwrap_or("mixed"));
+    let rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let requests: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let workload = WorkloadSpec::Dataset(dataset);
+    let trace = workload.generate(rate, requests, 97);
+    let slo = SloSpec::default_for_lwm();
+    println!(
+        "Comparing {} systems on {} ({} requests at {:.2} req/s)\n",
+        SystemKind::figure10_systems().len(),
+        dataset.name(),
+        requests,
+        rate
+    );
+    println!("{}", RunSummary::markdown_header());
+
+    let mut rows = Vec::new();
+    for kind in SystemKind::figure10_systems() {
+        let system = SystemUnderTest::paper_single_node(kind);
+        let (summary, outcome) = system.run(&trace, rate, &slo);
+        println!("{}", summary.markdown_row());
+        rows.push((kind, summary, outcome));
+    }
+
+    println!("\nnotes:");
+    for (kind, summary, outcome) in &rows {
+        if !outcome.rejected.is_empty() || outcome.unfinished > 0 {
+            println!(
+                "  - {}: {} rejected, {} unfinished (served {} of {})",
+                kind.label(),
+                outcome.rejected.len(),
+                outcome.unfinished,
+                summary.completed,
+                requests
+            );
+        }
+    }
+
+    if let Some((_, loong, _)) = rows.iter().find(|(k, _, _)| *k == SystemKind::LoongServe) {
+        for (kind, other, _) in &rows {
+            if *kind == SystemKind::LoongServe || other.throughput_tokens_per_s <= 0.0 {
+                continue;
+            }
+            println!(
+                "  - LoongServe vs {}: {:.2}x token throughput, {:.2}x lower mean output latency",
+                kind.label(),
+                loong.throughput_tokens_per_s / other.throughput_tokens_per_s,
+                other.output_latency.mean / loong.output_latency.mean.max(1e-9)
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration tests of the elastic scaling mechanisms across crates:
+//! prefill with proactive scale-down feeding multi-master decode through the
+//! unified KV pool, and the migration-based paths the baselines use.
+
+use loong_simcore::ids::GroupId;
+use loongserve::prelude::*;
+
+fn setup() -> (InstanceRegistry, CostModel, UnifiedKvPool) {
+    let registry = InstanceRegistry::build(&ClusterSpec::single_node_a800(8), 2);
+    let cost_model = CostModel::new(ModelConfig::lwm_1m_text());
+    let pool = UnifiedKvPool::new(registry.num_instances(), 400_000);
+    (registry, cost_model, pool)
+}
+
+#[test]
+fn prefill_scale_down_then_decode_then_scale_up_lifecycle() {
+    // Reproduces the request lifecycle of Figure 6: prefill at DoP 4,
+    // proactive scale-down to DoP 1, decode, then scale the decode group up
+    // without moving any KV.
+    let (registry, cost_model, mut pool) = setup();
+    let all = registry.all_ids();
+
+    // Prefill a 200K-token request on all four instances, retaining on one.
+    let group = EspGroup::new(GroupId(0), all.clone());
+    let plan = PrefillPlan::build(
+        group,
+        vec![PrefillRequest {
+            id: RequestId(0),
+            input_len: 200_000,
+        }],
+        vec![InstanceId(0)],
+        &pool,
+    )
+    .expect("fits on one instance");
+    let prefill = execute_prefill(&plan, &cost_model, &registry, &mut pool).expect("prefill");
+    assert!(prefill.cost.scaling_s > 0.0);
+    assert_eq!(
+        pool.locations_of(RequestId(0)),
+        vec![(InstanceId(0), 200_000)]
+    );
+
+    // Decode a few iterations on the scaled-down group.
+    let mut decode_group = EspGroup::new(GroupId(1), vec![InstanceId(0)]);
+    for step in 0..5u64 {
+        let plan = DecodePlan::build(
+            decode_group.clone(),
+            &[(RequestId(0), 200_000 + step)],
+            &pool,
+        )
+        .expect("capacity");
+        let out = execute_decode(&plan, &cost_model, &registry, &mut pool).expect("decode");
+        assert_eq!(out.generated_tokens, 1);
+    }
+    assert_eq!(pool.tokens_of(RequestId(0)), 200_005);
+
+    // Scale the decode group up; the existing KV does not move.
+    let before = pool.locations_of(RequestId(0));
+    decode_group = scale_up(&decode_group, &[InstanceId(1)]).expect("scale up");
+    assert_eq!(decode_group.dop(), 2);
+    assert_eq!(
+        pool.locations_of(RequestId(0)),
+        before,
+        "scale-up must not migrate KV"
+    );
+
+    // Further decodes may now place new tokens on the new master too.
+    let plan =
+        DecodePlan::build(decode_group, &[(RequestId(0), 200_005)], &pool).expect("capacity");
+    let out = execute_decode(&plan, &cost_model, &registry, &mut pool).expect("decode");
+    assert_eq!(out.generated_tokens, 1);
+    assert_eq!(pool.tokens_of(RequestId(0)), 200_006);
+}
+
+#[test]
+fn proactive_scale_down_is_cheaper_than_reactive_migration() {
+    // The cost argument of §4.1: retaining KV during the prefill ring is
+    // (nearly) free, while migrating the same KV afterwards costs real time.
+    let (registry, cost_model, pool) = setup();
+    let all = registry.all_ids();
+    let tokens = 300_000u64;
+
+    // Proactive: retention folded into the prefill.
+    let mut pool_a = pool.clone();
+    let group = EspGroup::new(GroupId(0), all.clone());
+    let plan = PrefillPlan::build(
+        group,
+        vec![PrefillRequest {
+            id: RequestId(0),
+            input_len: tokens,
+        }],
+        vec![InstanceId(0)],
+        &pool_a,
+    )
+    .expect("fits");
+    let proactive = execute_prefill(&plan, &cost_model, &registry, &mut pool_a).expect("prefill");
+
+    // Reactive: prefill without scale-down, then migrate everything to
+    // instance 0.
+    let mut pool_b = pool.clone();
+    let group = EspGroup::new(GroupId(1), all.clone());
+    let plan = PrefillPlan::build(
+        group.clone(),
+        vec![PrefillRequest {
+            id: RequestId(1),
+            input_len: tokens,
+        }],
+        all.clone(),
+        &pool_b,
+    )
+    .expect("fits");
+    let _ = execute_prefill(&plan, &cost_model, &registry, &mut pool_b).expect("prefill");
+    let (_, migration) = reactive_scale_down(
+        &group,
+        &[InstanceId(0)],
+        &[RequestId(1)],
+        &mut pool_b,
+        &cost_model,
+        &registry,
+    )
+    .expect("capacity");
+
+    assert!(
+        proactive.cost.scaling_s < migration.time_s / 3.0,
+        "proactive retention ({}) should be several times cheaper than reactive migration ({})",
+        proactive.cost.scaling_s,
+        migration.time_s
+    );
+    // And it stays a negligible fraction of the prefill itself (Figure 14a).
+    assert!(proactive.cost.scaling_s / proactive.cost.total() < 0.02);
+}
+
+#[test]
+fn unified_pool_admits_what_locality_cannot() {
+    // Figure 4 / §2.4 at realistic scale: 600K tokens over instances with
+    // 100K/200K/400K free slots.
+    let (registry, cost_model, _) = setup();
+    let mut pool = UnifiedKvPool::with_capacities(&[100_000, 200_000, 400_000, 400_000]);
+    pool.append(RequestId(99), InstanceId(3), 400_000)
+        .expect("room");
+
+    assert!(!admissible_with_locality(&pool, 600_000));
+    assert!(admissible_unified(&pool, 600_000));
+
+    let group = EspGroup::new(GroupId(0), registry.all_ids());
+    let plan = PrefillPlan::build(
+        group,
+        vec![PrefillRequest {
+            id: RequestId(1),
+            input_len: 600_000,
+        }],
+        vec![InstanceId(0), InstanceId(1), InstanceId(2)],
+        &pool,
+    )
+    .expect("unified pool admits the request");
+    let mut pool2 = pool.clone();
+    execute_prefill(&plan, &cost_model, &registry, &mut pool2).expect("prefill");
+    assert_eq!(pool2.tokens_of(RequestId(1)), 600_000);
+}
+
+#[test]
+fn multi_master_decode_balances_new_tokens_across_masters() {
+    let (registry, cost_model, mut pool) = setup();
+    let group = EspGroup::new(GroupId(0), registry.all_ids());
+    let requests: Vec<(RequestId, u64)> = (0..64).map(|i| (RequestId(i), 1_000)).collect();
+    let plan = DecodePlan::build(group, &requests, &pool).expect("capacity");
+    let load = plan.per_master_load();
+    let max = load.values().max().copied().unwrap_or(0);
+    let min = load.values().min().copied().unwrap_or(0);
+    assert!(
+        max - min <= 1,
+        "per-master load should be near-uniform: {load:?}"
+    );
+    execute_decode(&plan, &cost_model, &registry, &mut pool).expect("decode");
+    // Every master received some of the newly generated tokens.
+    for inst in registry.all_ids() {
+        assert!(pool.instance(inst).used() > 0, "{inst} received no new KV");
+    }
+}
+
+#[test]
+fn drain_instance_frees_it_for_prefill_without_losing_tokens() {
+    let (registry, cost_model, mut pool) = setup();
+    // A decode request holds KV on instance 2.
+    pool.append(RequestId(7), InstanceId(2), 50_000)
+        .expect("room");
+    let summary = migrate_request(
+        RequestId(7),
+        &[InstanceId(0), InstanceId(1)],
+        &mut pool,
+        &cost_model,
+        &registry,
+    )
+    .expect("capacity");
+    assert_eq!(summary.total_tokens, 50_000);
+    assert_eq!(pool.instance(InstanceId(2)).used(), 0);
+    assert_eq!(pool.tokens_of(RequestId(7)), 50_000);
+    assert!(pool.check_invariants().is_ok());
+}

@@ -1,0 +1,159 @@
+//! Property-based tests over the core data structures and invariants.
+//!
+//! These use `proptest` to explore input spaces the unit tests cannot
+//! enumerate: arbitrary placement problems, arbitrary allocate/release
+//! sequences against the unified KV pool, arbitrary batches through the
+//! cost model, and arbitrary traces through the full LoongServe engine.
+
+use loongserve::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any feasible placement plan covers exactly the requested tokens, uses
+    /// only candidate instances, and never exceeds any instance's free slots.
+    #[test]
+    fn placement_plans_are_exact_and_feasible(
+        tokens in 0u64..2_000_000,
+        frees in proptest::collection::vec(0u64..600_000, 1..8),
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            PlacementStrategy::PackMostFree,
+            PlacementStrategy::Balanced,
+            PlacementStrategy::EvenSplit,
+        ][strategy_idx];
+        let candidates: Vec<(InstanceId, u64)> = frees
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (InstanceId::from(i), f))
+            .collect();
+        let total: u64 = frees.iter().sum();
+        match plan_placement(RequestId(0), tokens, &candidates, strategy) {
+            Some(plan) => {
+                prop_assert_eq!(plan.total_tokens(), tokens);
+                prop_assert!(plan.validate().is_ok());
+                for (inst, t) in &plan.spans {
+                    let free = candidates.iter().find(|(i, _)| i == inst).unwrap().1;
+                    prop_assert!(*t <= free, "span {} exceeds free {}", t, free);
+                }
+            }
+            None => {
+                // Only the even-split strategy may fail despite sufficient
+                // total capacity (that is exactly its weakness); the other
+                // strategies must succeed whenever the total fits.
+                if strategy != PlacementStrategy::EvenSplit {
+                    prop_assert!(tokens > total, "plan failed although {tokens} <= {total}");
+                }
+            }
+        }
+    }
+
+    /// The unified pool's bookkeeping stays consistent under arbitrary
+    /// sequences of allocations, appends, migrations and releases.
+    #[test]
+    fn unified_pool_invariants_hold_under_random_operations(
+        ops in proptest::collection::vec((0u8..4, 0u64..6, 0u64..4, 1u64..5_000), 1..60)
+    ) {
+        let mut pool = UnifiedKvPool::new(4, 20_000);
+        let mut live: Vec<RequestId> = Vec::new();
+        for (op, req_raw, inst_raw, tokens) in ops {
+            let req = RequestId(req_raw);
+            let inst = InstanceId(inst_raw % 4);
+            match op {
+                0 => {
+                    if pool.append(req, inst, tokens).is_ok() && !live.contains(&req) {
+                        live.push(req);
+                    }
+                }
+                1 => {
+                    let _ = pool.release(req);
+                    live.retain(|r| *r != req);
+                }
+                2 => {
+                    let to = InstanceId((inst_raw + 1) % 4);
+                    let held = pool.instance(inst).used_by(req);
+                    if held > 0 {
+                        let _ = pool.migrate(req, inst, to, held.min(tokens));
+                    }
+                }
+                _ => {
+                    let _ = pool.drain_instance(req, inst);
+                }
+            }
+            prop_assert!(pool.check_invariants().is_ok());
+            prop_assert!(pool.total_used() + pool.total_free() == pool.total_capacity());
+        }
+        // Releasing everything returns the pool to empty.
+        for req in live {
+            pool.release(req);
+        }
+        let leftover: u64 = pool.resident_requests().iter().map(|&r| pool.tokens_of(r)).sum();
+        prop_assert_eq!(pool.total_used(), leftover);
+    }
+
+    /// Iteration costs are positive, finite, and monotone in batch size.
+    #[test]
+    fn cost_model_is_positive_and_monotone(
+        len_a in 16u64..200_000,
+        len_b in 16u64..200_000,
+        tp_idx in 0usize..3,
+        sp in 1usize..5,
+    ) {
+        let tp = [1usize, 2, 4][tp_idx];
+        let cm = CostModel::new(ModelConfig::lwm_1m_text());
+        let p = ParallelConfig::new(tp, sp);
+        let link = LinkSpec::nvlink_a800();
+        let single = cm.prefill_cost(&[len_a], p, link).total();
+        let double = cm.prefill_cost(&[len_a, len_b], p, link).total();
+        prop_assert!(single.is_finite() && single > 0.0);
+        prop_assert!(double >= single, "adding a request cannot make the iteration faster");
+
+        let d1 = cm.decode_cost(&[len_a], p, 1, link).total();
+        let d2 = cm.decode_cost(&[len_a, len_b], p, 1, link).total();
+        prop_assert!(d1.is_finite() && d1 > 0.0);
+        prop_assert!(d2 >= d1 * 0.999);
+    }
+
+    /// The analytical model fitted on roofline samples predicts unseen
+    /// batches within a loose error bound (Figure 15's property).
+    #[test]
+    fn fitted_analytical_model_generalises(validation_len in 20_000u64..400_000) {
+        let cm = CostModel::new(ModelConfig::lwm_1m_text());
+        let mut rng = SimRng::seed(5);
+        let p = ParallelConfig::new(2, 4);
+        let sib = ScalingInfoBase::profile(&cm, &[p], LinkSpec::nvlink_a800(), 0.0, &mut rng);
+        let model = sib.prefill_model(p).expect("profiled");
+        let truth = cm.prefill_cost(&[validation_len], p, LinkSpec::nvlink_a800()).total();
+        let predicted = model.predict(&[validation_len]);
+        let err = ((predicted - truth) / truth).abs();
+        prop_assert!(err < 0.15, "relative error {err} too large at len {validation_len}");
+    }
+}
+
+proptest! {
+    // Full engine runs are expensive; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Request accounting is conserved for arbitrary small traces and no
+    /// completed record violates causality, for both LoongServe and vLLM.
+    #[test]
+    fn engine_conserves_requests_on_arbitrary_traces(
+        seed in 0u64..1_000,
+        rate_milli in 50u64..2_000,
+        count in 5usize..25,
+        system_idx in 0usize..2,
+    ) {
+        let kind = [SystemKind::LoongServe, SystemKind::Vllm][system_idx];
+        let rate = rate_milli as f64 / 1000.0;
+        let trace = WorkloadSpec::Dataset(DatasetKind::Mixed).generate(rate, count, seed);
+        let system = SystemUnderTest::paper_single_node(kind);
+        let (summary, outcome) = system.run(&trace, rate, &SloSpec::default_for_lwm());
+        prop_assert_eq!(summary.completed + outcome.rejected.len() + outcome.unfinished, count);
+        for record in &outcome.records {
+            prop_assert!(record.validate().is_ok());
+            prop_assert!(record.arrival >= SimTime::ZERO);
+        }
+    }
+}
