@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The full verification gate for LoongServe-RS. Run from the repo root.
+#
+#   ./ci.sh          # everything: build, tests, bench compile, clippy, fmt
+#   ./ci.sh quick    # just the tier-1 gate: release build + tests
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "quick gate passed"
+    exit 0
+fi
+
+step "cargo bench --no-run (all 9 figure/microbench targets compile)"
+cargo bench --no-run
+
+step "cargo build --examples"
+cargo build --examples
+
+step "cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+step "cargo fmt --check"
+cargo fmt --check
+
+echo
+echo "ci.sh: all gates passed"

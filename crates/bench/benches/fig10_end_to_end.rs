@@ -22,7 +22,11 @@ fn main() {
         let rates: Vec<f64> = dataset.figure10_rates().into_iter().step_by(2).collect();
         // Short-request workloads need longer traces before queueing effects
         // appear; long-context workloads are already expensive per request.
-        let requests_per_run = if dataset == DatasetKind::ShareGpt { 240 } else { 60 };
+        let requests_per_run = if dataset == DatasetKind::ShareGpt {
+            240
+        } else {
+            60
+        };
         let config = SweepConfig {
             workload: WorkloadSpec::Dataset(dataset),
             rates,

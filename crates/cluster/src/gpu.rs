@@ -103,13 +103,13 @@ impl GpuSpec {
 
     /// Validates that all parameters are physically meaningful.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.peak_flops > 0.0) {
+        if self.peak_flops <= 0.0 || self.peak_flops.is_nan() {
             return Err(format!("{}: peak_flops must be positive", self.name));
         }
-        if !(self.hbm_bandwidth > 0.0) {
+        if self.hbm_bandwidth <= 0.0 || self.hbm_bandwidth.is_nan() {
             return Err(format!("{}: hbm_bandwidth must be positive", self.name));
         }
-        if !(self.memory_bytes > 0.0) {
+        if self.memory_bytes <= 0.0 || self.memory_bytes.is_nan() {
             return Err(format!("{}: memory_bytes must be positive", self.name));
         }
         if !(0.0..=1.0).contains(&self.compute_efficiency) {

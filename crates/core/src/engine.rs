@@ -281,11 +281,14 @@ impl ServingEngine {
                 .into_iter()
                 .filter(|i| busy_until.get(i).map(|&t| t <= now).unwrap_or(true))
                 .collect();
-            let busy: Vec<(InstanceId, SimTime)> = busy_until
+            let mut busy: Vec<(InstanceId, SimTime)> = busy_until
                 .iter()
                 .filter(|(_, &t)| t > now)
                 .map(|(&i, &t)| (i, t))
                 .collect();
+            // HashMap iteration order is not deterministic; schedulers see
+            // this list, so sort it to keep runs bit-for-bit reproducible.
+            busy.sort_by_key(|&(i, _)| i);
 
             let pending: Vec<PendingRequest> = arrived
                 .iter()
@@ -769,7 +772,12 @@ mod tests {
 
     fn small_trace(rate: f64, count: usize, seed: u64) -> Trace {
         let mut rng = SimRng::seed(seed);
-        Trace::generate(DatasetKind::ShareGpt, ArrivalProcess::Poisson { rate }, count, &mut rng)
+        Trace::generate(
+            DatasetKind::ShareGpt,
+            ArrivalProcess::Poisson { rate },
+            count,
+            &mut rng,
+        )
     }
 
     fn engine_for(kind: SystemKind) -> ServingEngine {
@@ -787,7 +795,10 @@ mod tests {
         let capacity = config.instance_kv_capacity();
         // Two 80 GB GPUs minus weights and workspace at 256 KiB/token/GPU:
         // a few hundred thousand tokens.
-        assert!(capacity > 150_000 && capacity < 400_000, "capacity {capacity}");
+        assert!(
+            capacity > 150_000 && capacity < 400_000,
+            "capacity {capacity}"
+        );
     }
 
     #[test]
@@ -826,8 +837,14 @@ mod tests {
         let mut engine = engine_for(SystemKind::LoongServe);
         let trace = small_trace(10.0, 30, 5);
         let outcome = engine.run(&trace);
-        assert_eq!(outcome.records.len() + outcome.unfinished + outcome.rejected.len(), 30);
-        assert!(outcome.records.len() >= 28, "almost all short requests should finish");
+        assert_eq!(
+            outcome.records.len() + outcome.unfinished + outcome.rejected.len(),
+            30
+        );
+        assert!(
+            outcome.records.len() >= 28,
+            "almost all short requests should finish"
+        );
         assert!(outcome.scheduler_calls > 0);
         assert!(outcome.sim_time > SimTime::ZERO);
     }

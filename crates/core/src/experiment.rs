@@ -114,18 +114,17 @@ pub fn sweep_system(system: &SystemUnderTest, config: &SweepConfig) -> SweepResu
     };
 
     let summaries: Vec<RunSummary> = if config.parallel {
-        let mut out: Vec<Option<RunSummary>> = vec![None; config.rates.len()];
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (idx, rate) in config.rates.iter().enumerate() {
-                handles.push((idx, scope.spawn(move |_| run_one(rate))));
-            }
-            for (idx, handle) in handles {
-                out[idx] = Some(handle.join().expect("sweep worker panicked"));
-            }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = config
+                .rates
+                .iter()
+                .map(|rate| scope.spawn(move || run_one(rate)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("sweep worker panicked"))
+                .collect()
         })
-        .expect("sweep scope");
-        out.into_iter().map(|s| s.expect("filled")).collect()
     } else {
         config.rates.iter().map(run_one).collect()
     };

@@ -95,8 +95,7 @@ impl DecodePlan {
                 .iter()
                 .copied()
                 .filter(|&m| {
-                    pool.instance(m).used_by(id) > 0
-                        && free.iter().any(|&(fm, f)| fm == m && f > 0)
+                    pool.instance(m).used_by(id) > 0 && free.iter().any(|&(fm, f)| fm == m && f > 0)
                 })
                 .max_by_key(|&m| (pool.instance(m).used_by(id), u64::MAX - m.raw()));
             // Otherwise pick the master with the fewest assignments among

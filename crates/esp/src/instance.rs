@@ -59,7 +59,7 @@ impl InstanceRegistry {
     pub fn build(cluster: &ClusterSpec, tp: usize) -> Self {
         assert!(tp >= 1, "tensor parallel degree must be >= 1");
         assert!(
-            cluster.gpus_per_node % tp == 0,
+            cluster.gpus_per_node.is_multiple_of(tp),
             "tp={tp} must divide the {} GPUs per node so instances do not span nodes",
             cluster.gpus_per_node
         );

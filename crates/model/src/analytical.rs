@@ -161,10 +161,11 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         }
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
+        let pivot = a[col];
         for row in (col + 1)..3 {
-            let factor = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            let factor = a[row][col] / pivot[col];
+            for (entry, pivot_entry) in a[row].iter_mut().zip(pivot.iter()).skip(col) {
+                *entry -= factor * pivot_entry;
             }
             b[row] -= factor * b[col];
         }

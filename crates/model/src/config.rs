@@ -191,13 +191,13 @@ impl ModelConfig {
                 self.name
             ));
         }
-        if self.hidden_size % self.num_heads != 0 {
+        if !self.hidden_size.is_multiple_of(self.num_heads) {
             return Err(format!(
                 "{}: hidden_size must be divisible by num_heads",
                 self.name
             ));
         }
-        if self.num_kv_heads == 0 || self.num_heads % self.num_kv_heads != 0 {
+        if self.num_kv_heads == 0 || !self.num_heads.is_multiple_of(self.num_kv_heads) {
             return Err(format!(
                 "{}: num_heads must be a multiple of num_kv_heads",
                 self.name

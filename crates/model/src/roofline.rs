@@ -645,7 +645,7 @@ mod tests {
             .chunked_prefill_cost(2_000, 10_000, &[], p, nvlink())
             .total();
         let with = cm
-            .chunked_prefill_cost(2_000, 10_000, &vec![20_000; 16], p, nvlink())
+            .chunked_prefill_cost(2_000, 10_000, &[20_000; 16], p, nvlink())
             .total();
         assert!(with > without);
     }

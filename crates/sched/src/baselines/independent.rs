@@ -19,7 +19,7 @@
 use crate::types::{Action, PendingRequest, Scheduler, SchedulerView};
 use loong_model::roofline::ParallelConfig;
 use loong_simcore::ids::{InstanceId, RequestId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A scheduler treating every elastic instance as an independent serving
 /// engine with static parallelism.
@@ -103,7 +103,7 @@ impl Scheduler for IndependentInstancesScheduler {
         }
 
         // Route pending requests and gather per-instance prefill batches.
-        let mut prefill_per_instance: HashMap<InstanceId, Vec<RequestId>> = HashMap::new();
+        let mut prefill_per_instance: BTreeMap<InstanceId, Vec<RequestId>> = BTreeMap::new();
         let mut budget_per_instance: HashMap<InstanceId, u64> = HashMap::new();
         let mut tokens_per_instance: HashMap<InstanceId, u64> = HashMap::new();
         for req in view.pending {
@@ -137,7 +137,7 @@ impl Scheduler for IndependentInstancesScheduler {
         }
 
         // Decode on the remaining idle instances (prefill has priority).
-        let mut decode_per_instance: HashMap<InstanceId, Vec<RequestId>> = HashMap::new();
+        let mut decode_per_instance: BTreeMap<InstanceId, Vec<RequestId>> = BTreeMap::new();
         for d in view.decoding {
             let Some(&inst) = d.kv_instances.first() else {
                 continue;

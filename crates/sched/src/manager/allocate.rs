@@ -112,9 +112,12 @@ pub fn allocate(
             break;
         }
 
-        // Claim e_min: emit drains for every resident request.
+        // Claim e_min: emit drains for every resident request. Residents
+        // come out of a hash map, so sort them to keep runs reproducible.
         let target_ids: Vec<InstanceId> = targets.iter().map(|(i, _)| *i).collect();
-        for (req, tokens) in view.pool.instance(e_min).residents() {
+        let mut resident: Vec<(RequestId, u64)> = view.pool.instance(e_min).residents().collect();
+        resident.sort_by_key(|&(req, _)| req);
+        for (req, tokens) in resident {
             if tokens > 0 {
                 drains.push(DrainDirective {
                     request: req,

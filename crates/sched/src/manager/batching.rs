@@ -91,8 +91,8 @@ fn plan(
     let mut f = vec![vec![inf; m + 1]; n + 1];
     let mut split_req = vec![vec![0usize; m + 1]; n + 1];
     let mut split_inst = vec![vec![0usize; m + 1]; n + 1];
-    for k in 0..=m {
-        f[0][k] = 0.0;
+    for cell in f[0].iter_mut() {
+        *cell = 0.0;
     }
 
     for i in 1..=n {
@@ -136,9 +136,9 @@ fn plan(
     // Choose the best number of instances actually used.
     let mut best_k = 0;
     let mut best = inf;
-    for k in 1..=m {
-        if f[n][k] < best {
-            best = f[n][k];
+    for (k, &cost) in f[n].iter().enumerate().skip(1) {
+        if cost < best {
+            best = cost;
             best_k = k;
         }
     }

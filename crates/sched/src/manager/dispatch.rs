@@ -59,7 +59,8 @@ pub fn dispatch(view: &SchedulerView<'_>) -> DispatchDecision {
             .filter(|d| d.kv_instances.contains(&inst))
             .collect();
         let resident_tokens: u64 = residents.iter().map(|d| d.context_len).sum();
-        let heavy = resident_tokens > view.pool.instance(inst).capacity() / 10 || residents.len() > 64;
+        let heavy =
+            resident_tokens > view.pool.instance(inst).capacity() / 10 || residents.len() > 64;
         if heavy {
             decode_hosting.push(inst);
         } else {

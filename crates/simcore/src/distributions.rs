@@ -362,7 +362,7 @@ mod tests {
         let d = LogUniform::new(100.0, 100_000.0);
         for _ in 0..1000 {
             let x = d.sample(&mut rng);
-            assert!(x >= 100.0 && x <= 100_000.0, "sample {x} out of bounds");
+            assert!((100.0..=100_000.0).contains(&x), "sample {x} out of bounds");
         }
     }
 
@@ -379,7 +379,7 @@ mod tests {
         let d = LogNormal::new(5.0, 1.5, 4.0, 2300.0);
         for _ in 0..2000 {
             let x = d.sample(&mut rng);
-            assert!(x >= 4.0 && x <= 2300.0, "sample {x} escaped truncation");
+            assert!((4.0..=2300.0).contains(&x), "sample {x} escaped truncation");
         }
     }
 

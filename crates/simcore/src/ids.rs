@@ -38,6 +38,19 @@ macro_rules! define_id {
             }
         }
 
+        // Id-keyed maps serialize with the raw number as the object key.
+        impl serde::MapKey for $name {
+            fn to_key(&self) -> String {
+                self.0.to_string()
+            }
+
+            fn parse_key(s: &str) -> Result<Self, serde::DeError> {
+                s.parse::<u64>()
+                    .map($name)
+                    .map_err(|_| serde::DeError::custom(format!("bad id key `{s}`")))
+            }
+        }
+
         impl fmt::Debug for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 write!(f, concat!($prefix, "{}"), self.0)
@@ -117,6 +130,10 @@ impl<T: From<u64>> IdAllocator<T> {
     }
 
     /// Allocates the next identifier.
+    ///
+    /// Deliberately named like `Iterator::next`; the allocator is not an
+    /// iterator (allocation never ends and is never `None`).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> T {
         let id = self.next;
         self.next += 1;

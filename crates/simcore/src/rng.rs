@@ -137,7 +137,7 @@ impl SeedableRng for SimRng {
 impl Default for SimRng {
     /// A generator with a fixed default seed, convenient for examples.
     fn default() -> Self {
-        SimRng::seed(0x1000_05E_E_D)
+        SimRng::seed(0x0001_0000_5EED)
     }
 }
 

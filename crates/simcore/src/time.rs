@@ -22,13 +22,13 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(t.as_secs(), 1.5);
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimTime(f64);
 
 /// A span of simulated time, in seconds.
 ///
 /// Durations may be zero but never negative or NaN.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimDuration(f64);
 
 impl SimTime {
@@ -166,6 +166,12 @@ impl SimDuration {
 
 impl Eq for SimTime {}
 
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Construction forbids NaN, so `partial_cmp` never fails.
@@ -174,6 +180,12 @@ impl Ord for SimTime {
 }
 
 impl Eq for SimDuration {}
+
+impl PartialOrd for SimDuration {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl Ord for SimDuration {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -313,7 +325,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(2.0),

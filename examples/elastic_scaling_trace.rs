@@ -46,9 +46,7 @@ fn main() {
     println!("elastic scale-up operations per 10 s interval:");
     let max = scale_ups.max_per_bin().max(1);
     for (i, &count) in scale_ups.bins().iter().enumerate() {
-        let bar: String = std::iter::repeat('#')
-            .take((count * 40 / max) as usize)
-            .collect();
+        let bar = "#".repeat((count * 40 / max) as usize);
         println!(
             "  [{:>4}-{:<4}s] {:>3} {}",
             i * 10,

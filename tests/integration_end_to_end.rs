@@ -143,3 +143,29 @@ fn engine_respects_sim_time_cap() {
         "a 1-second cap cannot finish 30 long-context requests"
     );
 }
+
+#[test]
+fn identical_runs_reproduce_bit_for_bit() {
+    // The whole repository's reproducibility story rests on engine runs
+    // being a pure function of (system, trace, slo). Run every system twice
+    // on the same trace and require identical summaries and records —
+    // this catches any hash-order dependence sneaking into a scheduler.
+    let slo = SloSpec::default_for_lwm();
+    let trace = WorkloadSpec::Dataset(DatasetKind::Mixed).generate(0.5, 40, 17);
+    for kind in [
+        SystemKind::LoongServe,
+        SystemKind::Vllm,
+        SystemKind::LightLlmSplitFuse,
+        SystemKind::DistServe,
+    ] {
+        let (s1, o1) = SystemUnderTest::paper_single_node(kind).run(&trace, 0.5, &slo);
+        let (s2, o2) = SystemUnderTest::paper_single_node(kind).run(&trace, 0.5, &slo);
+        assert_eq!(s1, s2, "{kind:?}: summaries differ between identical runs");
+        assert_eq!(
+            o1.records, o2.records,
+            "{kind:?}: request records differ between identical runs"
+        );
+        assert_eq!(o1.rejected, o2.rejected);
+        assert_eq!(o1.unfinished, o2.unfinished);
+    }
+}

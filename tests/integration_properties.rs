@@ -8,8 +8,25 @@
 use loongserve::prelude::*;
 use proptest::prelude::*;
 
+/// Fixed RNG seed for every property suite in this file, so CI runs are
+/// bit-for-bit reproducible. Override locally with `PROPTEST_RNG_SEED` to
+/// explore other seeds.
+const PROPTEST_SEED: u64 = 0x4c6f_6f6e_6753_7276;
+
+/// Pinned configuration: an explicit case budget (keeps CI fast), no
+/// failure-persistence files written into the tree, and a fixed seed.
+/// Deliberately spelled out rather than relying on the vendored crate's
+/// defaults, so this suite stays pinned even if those defaults change.
+fn ci_config(cases: u32) -> ProptestConfig {
+    ProptestConfig {
+        cases,
+        failure_persistence: Some(FileFailurePersistence::Off),
+        rng_seed: PROPTEST_SEED,
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ci_config(64))]
 
     /// Any feasible placement plan covers exactly the requested tokens, uses
     /// only candidate instances, and never exceeds any instance's free slots.
@@ -134,7 +151,7 @@ proptest! {
 
 proptest! {
     // Full engine runs are expensive; keep the case count small.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ci_config(8))]
 
     /// Request accounting is conserved for arbitrary small traces and no
     /// completed record violates causality, for both LoongServe and vLLM.

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's `harness = false` bench
+//! targets use — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! deliberately simple measurement loop: a short warm-up, then a fixed
+//! batch of timed iterations, reporting the mean per-iteration time to
+//! stdout. No statistics, plots, or baselines; `cargo bench` output is a
+//! table of `group/id: time` lines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `optimized/32`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean execution time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run (fills caches, triggers lazy init).
+        black_box(routine());
+        let iters = self.sample_size.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / iters as u32);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl std::fmt::Display, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, routine);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut routine: R) {
+    let mut bencher = Bencher {
+        sample_size,
+        last_mean: None,
+    };
+    routine(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => println!("bench {label}: {mean:?}/iter (n={sample_size})"),
+        None => println!("bench {label}: no measurement (Bencher::iter never called)"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Small by default: these benches run full simulations and the
+            // stand-in reports means, not distributions.
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; the stand-in accepts everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `routine` under `id` without a group.
+    pub fn bench_function<R>(&mut self, id: impl std::fmt::Display, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.default_sample_size, routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 3)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion::default();
+        trivial(&mut criterion);
+        criterion.bench_function("top_level", |b| b.iter(|| black_box(5u8)));
+    }
+}

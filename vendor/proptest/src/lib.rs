@@ -1,0 +1,338 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]` inner
+//! attribute), `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! range and tuple [`Strategy`]s, and [`collection::vec`].
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case reports its generated inputs (and the
+//!   seed) instead of minimising them.
+//! * **Deterministic by default.** Each test's RNG is seeded from the
+//!   config's `rng_seed` mixed with the test name, so CI runs are
+//!   bit-for-bit reproducible. Set `PROPTEST_RNG_SEED` to explore other
+//!   seeds locally.
+//! * Failure persistence writes a plain text line per failure (test name,
+//!   case index, seed) when a path is configured; there is no regression
+//!   replay file format.
+
+use std::fmt::Write as _;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Strategies for collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "empty size range for collection::vec"
+        );
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.uniform_usize(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The test runner: config, RNG and the case loop driven by [`proptest!`].
+pub mod test_runner {
+    use std::io::Write as _;
+
+    /// Where to record failing cases.
+    ///
+    /// Mirrors upstream's `FileFailurePersistence` in spirit: `Off` records
+    /// nothing; `Direct(path)` appends one line per failure to `path`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FileFailurePersistence {
+        /// Do not persist failures (the CI-friendly default).
+        Off,
+        /// Append failures to the file at this repository-relative path.
+        Direct(&'static str),
+    }
+
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+        /// Where failing cases are recorded.
+        pub failure_persistence: Option<FileFailurePersistence>,
+        /// Base seed mixed with the test name to seed each test's RNG.
+        /// Overridable at run time via `PROPTEST_RNG_SEED`.
+        pub rng_seed: u64,
+    }
+
+    impl ProptestConfig {
+        /// The default config with a different case budget.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                failure_persistence: Some(FileFailurePersistence::Off),
+                // "LoongServe" folded into 64 bits; any constant works, it
+                // just has to be stable.
+                rng_seed: 0x4c6f_6f6e_6753_7276,
+            }
+        }
+    }
+
+    /// A small deterministic RNG (SplitMix64) for generating test inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi);
+            lo + (self.next_u64() % (hi - lo) as u64) as usize
+        }
+    }
+
+    /// FNV-1a, used to give every test an independent substream.
+    pub fn hash_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` for every case index, with a per-test deterministic RNG.
+    ///
+    /// `case` receives the case index and the RNG; it panics to signal
+    /// failure (the `proptest!` macro wraps bodies so failures also report
+    /// their generated inputs before propagating).
+    pub fn run_cases(
+        config: &ProptestConfig,
+        test_name: &str,
+        mut case: impl FnMut(u32, &mut TestRng),
+    ) {
+        let base_seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(config.rng_seed);
+        let mut rng = TestRng::seed(base_seed ^ hash_name(test_name));
+        for i in 0..config.cases {
+            case(i, &mut rng);
+        }
+    }
+
+    /// Records a failing case when persistence is configured.
+    pub fn persist_failure(
+        config: &ProptestConfig,
+        test_name: &str,
+        case_index: u32,
+        inputs: &str,
+    ) {
+        if let Some(FileFailurePersistence::Direct(path)) = config.failure_persistence {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{test_name} case={case_index} seed={} inputs: {inputs}",
+                    config.rng_seed
+                );
+            }
+        }
+    }
+}
+
+pub use test_runner::{FileFailurePersistence, ProptestConfig};
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{FileFailurePersistence, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Formats generated inputs for the failure report.
+pub fn format_input(buffer: &mut String, name: &str, value: &dyn std::fmt::Debug) {
+    let _ = write!(buffer, "{name} = {value:?}; ");
+}
+
+/// Declares property tests. See the crate docs for supported syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0u32..9, 1..4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr)) => {};
+    (@impl ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__case, __rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), __rng);)+
+                let mut __inputs = String::new();
+                $($crate::format_input(&mut __inputs, stringify!($arg), &$arg);)+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "[proptest] {} failed at case {} (seed {:#x}): {}",
+                        stringify!($name), __case, __config.rng_seed, __inputs
+                    );
+                    $crate::test_runner::persist_failure(
+                        &__config, stringify!($name), __case, &__inputs,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            });
+        }
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0u64..100,
+            b in -5i64..5,
+            f in 0.25f64..0.75,
+            idx in 0usize..3,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(idx < 3);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(
+            v in collection::vec(0u64..10, 1..8),
+        ) {
+            prop_assert!((1..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuple_strategies_work(
+            ops in collection::vec((0u8..4, 0u64..6, 1u64..5_000), 1..20),
+        ) {
+            for (op, a, b) in ops {
+                prop_assert!(op < 4);
+                prop_assert!(a < 6);
+                prop_assert!((1..5_000).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_applies(x in 0u32..7) {
+            prop_assert!(x < 7);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let mut a = TestRng::seed(42);
+        let mut b = TestRng::seed(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of serde this workspace relies on: `#[derive(Serialize,
+//! Deserialize)]` on plain (non-generic) structs and enums, backed by a
+//! small JSON-like [`Value`] data model. `serde_json` (also vendored)
+//! renders and parses that model, which is enough for the Scaling
+//! Information Base's JSON round-trip.
+//!
+//! Design notes:
+//! * [`Serialize::to_value`] converts a value into the [`Value`] tree;
+//!   [`Deserialize::from_value`] reads it back. The derive macro (in the
+//!   vendored `serde_derive`) generates both impls from the item's shape.
+//! * Enums use serde's externally-tagged convention: unit variants become
+//!   strings, data variants become single-entry maps.
+//! * Missing map keys deserialize as [`Value::Null`], so `Option` fields
+//!   behave like upstream serde's `default` behaviour for `Option`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// The JSON-like data model all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, as an ordered list of key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error from anything displayable.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive macro's generated code.
+// ---------------------------------------------------------------------------
+
+/// Fetches and deserializes the field `name` from a map value.
+///
+/// A missing key deserializes from [`Value::Null`], which lets `Option`
+/// fields absent from the input read back as `None`.
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    match value {
+        Value::Map(_) => T::from_value(value.get(name).unwrap_or(&Value::Null))
+            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        other => Err(DeError::custom(format!(
+            "expected object with field `{name}`, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Fetches and deserializes element `idx` from a sequence value.
+pub fn de_elem<T: Deserialize>(value: &Value, idx: usize) -> Result<T, DeError> {
+    match value {
+        Value::Seq(items) => match items.get(idx) {
+            Some(item) => {
+                T::from_value(item).map_err(|e| DeError::custom(format!("element {idx}: {e}")))
+            }
+            None => Err(DeError::custom(format!(
+                "expected array with at least {} elements, found {}",
+                idx + 1,
+                items.len()
+            ))),
+        },
+        other => Err(DeError::custom(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for &T
+where
+    T: ?Sized,
+{
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                Ok(($(de_elem::<$name>(value, $idx)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types usable as map keys, rendered as JSON object keys.
+pub trait MapKey: Sized {
+    /// Renders the key as a string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a string.
+    fn parse_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn parse_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn parse_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::custom(format!("bad integer key `{s}`")))
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        // Sorted for stable, diffable output (HashMap iteration order is not
+        // deterministic across runs).
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::parse_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::parse_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrips_through_null() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u64).to_value(), Value::U64(3));
+    }
+
+    #[test]
+    fn missing_field_reads_as_none() {
+        let obj = Value::Map(vec![("present".into(), Value::U64(1))]);
+        let missing: Option<u64> = de_field(&obj, "absent").unwrap();
+        assert_eq!(missing, None);
+        let present: Option<u64> = de_field(&obj, "present").unwrap();
+        assert_eq!(present, Some(1));
+    }
+
+    #[test]
+    fn hashmap_integer_keys_roundtrip() {
+        let mut m = HashMap::new();
+        m.insert(2usize, 8usize);
+        m.insert(4usize, 16usize);
+        let v = m.to_value();
+        let back: HashMap<usize, usize> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls (in terms of
+//! the vendored serde's `Value` data model) for the shapes this workspace
+//! actually uses: non-generic structs with named fields, tuple structs,
+//! unit structs, and enums whose variants are unit, tuple, or struct-like.
+//! Enums follow serde's externally-tagged representation.
+//!
+//! The parser walks the raw `proc_macro::TokenStream` directly (no `syn` /
+//! `quote`, which are unavailable offline). Unsupported shapes — generics,
+//! unions, `#[serde(...)]` attributes — panic with a clear message at
+//! expansion time rather than generating wrong code silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model.
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct GenericParam {
+    /// `T` or `'a`.
+    name: String,
+    /// Declared bounds, e.g. `Clone`, or empty.
+    bounds: String,
+    is_lifetime: bool,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    shape: Shape,
+}
+
+impl Item {
+    /// Builds `impl<...> Trait for Name<...>` header pieces, adding
+    /// `extra_bound` to every type parameter.
+    fn impl_header(&self, trait_path: &str, extra_bound: &str) -> (String, String) {
+        if self.generics.is_empty() {
+            return (
+                format!("impl {trait_path} for {}", self.name),
+                self.name.clone(),
+            );
+        }
+        let mut params = Vec::new();
+        let mut args = Vec::new();
+        for g in &self.generics {
+            args.push(g.name.clone());
+            if g.is_lifetime {
+                if g.bounds.is_empty() {
+                    params.push(g.name.clone());
+                } else {
+                    params.push(format!("{}: {}", g.name, g.bounds));
+                }
+            } else if g.bounds.is_empty() {
+                params.push(format!("{}: {extra_bound}", g.name));
+            } else {
+                params.push(format!("{}: {} + {extra_bound}", g.name, g.bounds));
+            }
+        }
+        let ty = format!("{}<{}>", self.name, args.join(", "));
+        (
+            format!("impl<{}> {trait_path} for {ty}", params.join(", ")),
+            ty,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips attributes (`#[...]`), including doc comments.
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Punct(p)) = self.peek() {
+                if p.as_char() == '!' {
+                    self.next();
+                }
+            }
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    let generics = parse_generics(&mut c, &name);
+    if let Some(TokenTree::Ident(id)) = c.peek() {
+        if id.to_string() == "where" {
+            panic!("serde_derive (vendored): `where` clauses are not supported ({name})");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Parses an optional `<...>` generic parameter list into params with their
+/// declared bounds. Const generics are unsupported.
+fn parse_generics(c: &mut Cursor, item_name: &str) -> Vec<GenericParam> {
+    match c.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    c.next();
+    // Collect the raw tokens up to the matching `>`.
+    let mut depth = 1i32;
+    let mut tokens: Vec<TokenTree> = Vec::new();
+    loop {
+        match c.next() {
+            None => panic!("serde_derive: unterminated generics on `{item_name}`"),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                tokens.push(TokenTree::Punct(p));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                tokens.push(TokenTree::Punct(p));
+            }
+            Some(t) => tokens.push(t),
+        }
+    }
+    // Split into comma-separated params (commas inside nested <...> belong
+    // to bounds like `Into<String>` and do not split).
+    let mut params = Vec::new();
+    let mut segment: Vec<TokenTree> = Vec::new();
+    let mut nested = 0i32;
+    for t in tokens.into_iter().chain(std::iter::empty()) {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => nested += 1,
+                '>' => nested -= 1,
+                ',' if nested == 0 => {
+                    if !segment.is_empty() {
+                        params.push(parse_generic_param(std::mem::take(&mut segment), item_name));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment.push(t);
+    }
+    if !segment.is_empty() {
+        params.push(parse_generic_param(segment, item_name));
+    }
+    params
+}
+
+fn parse_generic_param(tokens: Vec<TokenTree>, item_name: &str) -> GenericParam {
+    let mut iter = tokens.into_iter();
+    let (name, is_lifetime) = match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            let label = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: malformed lifetime in `{item_name}`: {other:?}"),
+            };
+            (format!("'{label}"), true)
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            panic!("serde_derive (vendored): const generics are not supported ({item_name})")
+        }
+        Some(TokenTree::Ident(id)) => (id.to_string(), false),
+        other => panic!("serde_derive: malformed generic param in `{item_name}`: {other:?}"),
+    };
+    // Anything after a `:` is the bound list, kept verbatim.
+    let mut bounds = String::new();
+    let mut saw_colon = false;
+    for t in iter {
+        if !saw_colon {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == ':' => {
+                    saw_colon = true;
+                    continue;
+                }
+                _ => panic!("serde_derive: unexpected token in generics of `{item_name}`: {t:?}"),
+            }
+        }
+        if !bounds.is_empty() {
+            bounds.push(' ');
+        }
+        bounds.push_str(&t.to_string());
+    }
+    GenericParam {
+        name,
+        bounds,
+        is_lifetime,
+    }
+}
+
+/// Parses `name: Type, ...` pairs, returning the field names. Commas inside
+/// angle brackets (`HashMap<String, u64>`) do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let field = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        skip_type(&mut c);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts types in a tuple-struct body (`T0, T1, ...`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        skip_type(&mut c);
+        count += 1;
+    }
+    count
+}
+
+/// Consumes tokens of one type, stopping after the `,` that terminates it
+/// (or at end of stream). Tracks `<`/`>` depth so generic arguments'
+/// commas are not mistaken for field separators.
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth: i32 = 0;
+    while let Some(tok) = c.peek() {
+        match tok {
+            TokenTree::Punct(p) => {
+                let ch = p.as_char();
+                if ch == '<' {
+                    angle_depth += 1;
+                } else if ch == '>' {
+                    angle_depth -= 1;
+                } else if ch == ',' && angle_depth == 0 {
+                    c.next();
+                    return;
+                }
+                c.next();
+            }
+            _ => {
+                c.next();
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume a trailing comma (and reject explicit discriminants).
+        match c.next() {
+            None => {
+                variants.push(Variant { name, shape });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, shape });
+            }
+            other => panic!(
+                "serde_derive: unexpected token after variant `{name}`: {other:?} \
+                 (explicit discriminants are not supported)"
+            ),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.push((String::from(\"{f}\"), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Map(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{vn}\"), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let (header, _) = item.impl_header("::serde::Serialize", "::serde::Serialize");
+    format!(
+        "#[automatically_derived]\n\
+         {header} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_elem(__v, {i})?"))
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de_elem(__inner, {i})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}({})),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(__inner, \"{f}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(::serde::DeError::custom(format!(\n\
+                             \"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__k, __inner) = &__entries[0];\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\
+                             __other => Err(::serde::DeError::custom(format!(\n\
+                                 \"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::DeError::custom(format!(\n\
+                         \"expected variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    let (header, _) = item.impl_header("::serde::Deserialize", "::serde::Deserialize");
+    format!(
+        "#[automatically_derived]\n\
+         {header} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
