@@ -19,8 +19,16 @@ if [[ "${1:-}" == "quick" ]]; then
     exit 0
 fi
 
-step "cargo bench --no-run (all 9 figure/microbench targets compile)"
+step "cargo bench --no-run (all figure/microbench targets compile)"
 cargo bench --no-run
+
+step "engine-scaling perf smoke (1k-request trace)"
+# Fails if the bench does not complete or stops printing its summary line;
+# the printed simulated-requests-per-wall-second makes regressions visible
+# in CI logs. Reference numbers live in BENCH_engine.json.
+smoke_out=$(cargo bench --bench engine_scaling -- --smoke)
+printf '%s\n' "$smoke_out"
+printf '%s\n' "$smoke_out" | grep -q "^ENGINE_SCALING requests=1000"
 
 step "cargo build --examples"
 cargo build --examples

@@ -25,15 +25,16 @@ use loong_model::config::ModelConfig;
 use loong_model::roofline::{CostModel, ParallelConfig};
 use loong_model::sib::ScalingInfoBase;
 use loong_sched::types::{
-    Action, DecodingRequest, PendingRequest, ScalingEvent, Scheduler, SchedulerView,
+    Action, DecodingRequest, PendingRequest, ScalingEvent, Scheduler, ViewScratch,
 };
-use loong_simcore::events::EventQueue;
+use loong_simcore::events::{Event, EventQueue};
 use loong_simcore::ids::{GroupId, IdAllocator, InstanceId, RequestId};
 use loong_simcore::rng::SimRng;
+use loong_simcore::table::{PhaseClass, RequestTable};
 use loong_simcore::time::{SimDuration, SimTime};
 use loong_workload::request::Request;
 use loong_workload::trace::Trace;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Static configuration of a serving-engine run.
 #[derive(Debug, Clone)]
@@ -102,6 +103,20 @@ enum Phase {
     Rejected,
 }
 
+impl Phase {
+    /// The coarse class used by the request table's phase indices.
+    fn class(&self) -> PhaseClass {
+        match self {
+            Phase::Pending { .. } => PhaseClass::Pending,
+            Phase::DecodeReady { .. } => PhaseClass::DecodeReady,
+            Phase::Prefilling | Phase::Decoding { .. } | Phase::Migrating { .. } => {
+                PhaseClass::InFlight
+            }
+            Phase::Finished | Phase::Rejected => PhaseClass::Done,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct RequestState {
     request: Request,
@@ -110,6 +125,92 @@ struct RequestState {
     first_token: Option<SimTime>,
     finish: Option<SimTime>,
     preemptions: u32,
+}
+
+/// Sets a request's phase and keeps the table's phase indices in sync.
+///
+/// Every phase write in the engine goes through here: the phase-index sets
+/// are the *only* source of the scheduler view's pending/decoding lists, so
+/// a direct `phase =` write that skipped the class update would silently
+/// desynchronise them (the debug-build view audit would catch it).
+fn set_phase(table: &mut RequestTable<RequestState>, id: RequestId, phase: Phase) {
+    let class = phase.class();
+    let state = table.get_mut(id).expect("known request");
+    state.phase = phase;
+    table.set_class(id, class);
+}
+
+/// Incrementally maintained idle/busy partition of the elastic instances.
+///
+/// Replaces the per-point re-filtering of `all_ids()` against a
+/// `busy_until` map: dispatch moves an instance idle→busy, work completion
+/// moves it back, and both sides iterate in instance-id order so the
+/// scheduler view stays bit-for-bit identical to the old sorted rebuild.
+#[derive(Debug)]
+struct InstanceTracker {
+    idle: BTreeSet<InstanceId>,
+    busy: BTreeMap<InstanceId, SimTime>,
+}
+
+impl InstanceTracker {
+    fn new(num_instances: usize) -> Self {
+        InstanceTracker {
+            idle: (0..num_instances).map(InstanceId::from).collect(),
+            busy: BTreeMap::new(),
+        }
+    }
+
+    /// Marks `instance` busy until `until`.
+    fn dispatch(&mut self, instance: InstanceId, until: SimTime) {
+        self.idle.remove(&instance);
+        self.busy.insert(instance, until);
+    }
+
+    /// Marks `instance` idle again once its iteration completes.
+    fn complete(&mut self, instance: InstanceId) {
+        if self.busy.remove(&instance).is_some() {
+            self.idle.insert(instance);
+        }
+    }
+
+    /// When `instance` is busy, the time its iteration ends.
+    #[cfg(debug_assertions)]
+    fn busy_until(&self, instance: InstanceId) -> Option<SimTime> {
+        self.busy.get(&instance).copied()
+    }
+
+    /// Copies the idle and busy sets into the view scratch buffers, in
+    /// instance-id order.
+    fn fill_view(&self, scratch: &mut ViewScratch) {
+        scratch.idle.extend(self.idle.iter().copied());
+        scratch.busy.extend(self.busy.iter().map(|(&i, &t)| (i, t)));
+    }
+}
+
+/// Running mean of finished requests' decode latencies (the `AvgLat_d` term
+/// of Eq. 2), maintained as a sum + count instead of re-summing an
+/// unbounded vector at every scheduling point. Values are accumulated in
+/// finish order, which is exactly the order the old full re-sum visited
+/// them, so the floating-point result is bit-for-bit identical.
+#[derive(Debug, Default)]
+struct DecodeLatencyStats {
+    sum: f64,
+    count: u64,
+}
+
+impl DecodeLatencyStats {
+    fn record(&mut self, latency_s: f64) {
+        self.sum += latency_s;
+        self.count += 1;
+    }
+
+    fn average(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
 }
 
 /// Events driving the simulation.
@@ -215,13 +316,21 @@ impl ServingEngine {
     }
 
     /// Runs the engine over a trace and returns the outcome.
+    ///
+    /// The loop maintains every scheduler-view input incrementally — phase
+    /// index sets in the [`RequestTable`], the idle/busy instance
+    /// partition, the KV residency index, running latency stats — so one
+    /// scheduling point costs O(active requests + actions) instead of
+    /// O(all requests ever seen). Debug builds shadow every view with a
+    /// naive full-scan rebuild and assert equality.
     pub fn run(&mut self, trace: &Trace) -> RunOutcome {
         let capacity = self.config.instance_kv_capacity();
         let mut pool = UnifiedKvPool::new(self.registry.num_instances(), capacity);
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
-        let mut states: HashMap<RequestId, RequestState> = HashMap::new();
+        let mut table: RequestTable<RequestState> =
+            RequestTable::with_capacity(trace.requests.len());
         for req in &trace.requests {
-            states.insert(
+            table.insert(
                 req.id,
                 RequestState {
                     request: req.clone(),
@@ -234,10 +343,7 @@ impl ServingEngine {
             );
             queue.push(req.arrival, EngineEvent::Arrival(req.id));
         }
-        // Requests become visible to the scheduler only after their arrival
-        // event fires.
-        let mut arrived: Vec<RequestId> = Vec::new();
-        let mut busy_until: HashMap<InstanceId, SimTime> = HashMap::new();
+        let mut instances_state = InstanceTracker::new(self.registry.num_instances());
         let mut in_flight: HashMap<u64, Work> = HashMap::new();
         let mut work_ids = IdAllocator::<RequestId>::new();
         let mut group_ids = IdAllocator::<GroupId>::new();
@@ -245,122 +351,116 @@ impl ServingEngine {
         let mut iterations = 0u64;
         let mut migration_bytes = 0.0f64;
         let mut scheduler_calls = 0u64;
-        let mut finished_decode_latencies: Vec<f64> = Vec::new();
+        let mut decode_stats = DecodeLatencyStats::default();
+        // Reusable per-point buffers: the steady-state loop never allocates
+        // them again.
+        let mut scratch = ViewScratch::new();
+        let mut batch: Vec<Event<EngineEvent>> = Vec::new();
+        let mut claimed: Vec<InstanceId> = Vec::new();
+        #[cfg(debug_assertions)]
+        let mut audit = audit::ViewAudit::default();
 
         let deadline = self.config.max_sim_time.map(|d| SimTime::ZERO + d);
 
         while !queue.is_empty() {
-            let batch = queue.pop_simultaneous();
+            queue.pop_simultaneous_into(&mut batch);
             let now = queue.now();
             if let Some(deadline) = deadline {
                 if now > deadline {
                     break;
                 }
             }
-            for ev in batch {
+            for ev in batch.drain(..) {
                 match ev.payload {
-                    EngineEvent::Arrival(id) => arrived.push(id),
+                    // Requests become visible to the scheduler only once
+                    // their arrival event fires: admission assigns the rank
+                    // that orders every phase-index iteration.
+                    EngineEvent::Arrival(id) => {
+                        table.admit(id);
+                        #[cfg(debug_assertions)]
+                        audit.on_arrival(id);
+                    }
                     EngineEvent::WorkComplete(work_id) => {
                         let work = in_flight.remove(&work_id).expect("unknown work id");
                         Self::complete_work(
                             work,
                             now,
-                            &mut states,
+                            &mut table,
                             &mut pool,
-                            &mut busy_until,
-                            &mut finished_decode_latencies,
+                            &mut instances_state,
+                            &mut decode_stats,
                         );
                     }
                 }
             }
 
-            // Scheduling point.
-            let idle: Vec<InstanceId> = self
-                .registry
-                .all_ids()
-                .into_iter()
-                .filter(|i| busy_until.get(i).map(|&t| t <= now).unwrap_or(true))
-                .collect();
-            let mut busy: Vec<(InstanceId, SimTime)> = busy_until
-                .iter()
-                .filter(|(_, &t)| t > now)
-                .map(|(&i, &t)| (i, t))
-                .collect();
-            // HashMap iteration order is not deterministic; schedulers see
-            // this list, so sort it to keep runs bit-for-bit reproducible.
-            busy.sort_by_key(|&(i, _)| i);
+            // Scheduling point: assemble the view from the maintained
+            // indices. Iteration order is arrival order for requests and id
+            // order for instances — identical to a full rebuild.
+            scratch.clear();
+            for id in table.iter_class(PhaseClass::Pending) {
+                let s = table.get(id).expect("indexed request exists");
+                match s.phase {
+                    Phase::Pending { prefilled } => scratch.pending.push(PendingRequest {
+                        id,
+                        arrival: s.request.arrival,
+                        input_len: s.request.input_len,
+                        prefilled_len: prefilled,
+                        max_output_len: s.request.max_output_len,
+                    }),
+                    _ => unreachable!("pending index out of sync with phase"),
+                }
+            }
+            for id in table.iter_class(PhaseClass::DecodeReady) {
+                let s = table.get(id).expect("indexed request exists");
+                match s.phase {
+                    Phase::DecodeReady { generated } => scratch.decoding.push(DecodingRequest {
+                        id,
+                        context_len: s.request.input_len + generated,
+                        generated,
+                        decode_time_s: s
+                            .first_token
+                            .map(|ft| now.saturating_since(ft).as_secs())
+                            .unwrap_or(0.0),
+                        kv_instances: pool.locations_ref(id).iter().map(|&(i, _)| i).collect(),
+                    }),
+                    _ => unreachable!("decode-ready index out of sync with phase"),
+                }
+            }
+            instances_state.fill_view(&mut scratch);
+            let avg_decode_latency_s = decode_stats.average();
 
-            let pending: Vec<PendingRequest> = arrived
-                .iter()
-                .filter_map(|id| {
-                    let s = states.get(id)?;
-                    match s.phase {
-                        Phase::Pending { prefilled } => Some(PendingRequest {
-                            id: *id,
-                            arrival: s.request.arrival,
-                            input_len: s.request.input_len,
-                            prefilled_len: prefilled,
-                            max_output_len: s.request.max_output_len,
-                        }),
-                        _ => None,
-                    }
-                })
-                .collect();
-            let decoding: Vec<DecodingRequest> = arrived
-                .iter()
-                .filter_map(|id| {
-                    let s = states.get(id)?;
-                    match s.phase {
-                        Phase::DecodeReady { generated } => Some(DecodingRequest {
-                            id: *id,
-                            context_len: s.request.input_len + generated,
-                            generated,
-                            decode_time_s: s
-                                .first_token
-                                .map(|ft| now.saturating_since(ft).as_secs())
-                                .unwrap_or(0.0),
-                            kv_instances: pool
-                                .locations_of(*id)
-                                .into_iter()
-                                .map(|(i, _)| i)
-                                .collect(),
-                        }),
-                        _ => None,
-                    }
-                })
-                .collect();
-
-            let avg_decode_latency_s = if finished_decode_latencies.is_empty() {
-                0.0
-            } else {
-                finished_decode_latencies.iter().sum::<f64>()
-                    / finished_decode_latencies.len() as f64
-            };
+            #[cfg(debug_assertions)]
+            audit.check(
+                &table,
+                &pool,
+                &self.registry,
+                &instances_state,
+                now,
+                &scratch,
+            );
 
             let actions = {
-                let view = SchedulerView {
+                let view = scratch.view(
                     now,
-                    pending: &pending,
-                    decoding: &decoding,
-                    idle_instances: &idle,
-                    busy_instances: &busy,
-                    pool: &pool,
-                    registry: &self.registry,
-                    cost_model: &self.cost_model,
-                    sib: &self.sib,
+                    &pool,
+                    &self.registry,
+                    &self.cost_model,
+                    &self.sib,
                     avg_decode_latency_s,
-                };
+                );
                 scheduler_calls += 1;
                 self.scheduler.schedule(&view)
             };
 
-            let mut claimed: Vec<InstanceId> = Vec::new();
+            claimed.clear();
+            let idle = &scratch.idle;
             for action in actions {
                 match action {
                     Action::Reject { request, reason } => {
-                        if let Some(s) = states.get_mut(&request) {
+                        if let Some(s) = table.get(request) {
                             if matches!(s.phase, Phase::Pending { .. }) {
-                                s.phase = Phase::Rejected;
+                                set_phase(&mut table, request, Phase::Rejected);
                                 rejected.push((request, reason));
                             }
                         }
@@ -379,7 +479,7 @@ impl ServingEngine {
                         let prefill_reqs: Vec<PrefillRequest> = requests
                             .iter()
                             .filter_map(|id| {
-                                let s = states.get(id)?;
+                                let s = table.get(*id)?;
                                 matches!(s.phase, Phase::Pending { .. }).then(|| PrefillRequest {
                                     id: *id,
                                     input_len: s.request.input_len,
@@ -406,13 +506,17 @@ impl ServingEngine {
                         iterations += 1;
                         let done = now + SimDuration::from_secs(outcome.cost.total());
                         for &inst in &instances {
-                            busy_until.insert(inst, done);
+                            instances_state.dispatch(inst, done);
                             claimed.push(inst);
                         }
-                        for id in &requests {
-                            if let Some(s) = states.get_mut(id) {
-                                s.phase = Phase::Prefilling;
-                                s.prefill_start.get_or_insert(now);
+                        for &id in &requests {
+                            if table.contains(id) {
+                                set_phase(&mut table, id, Phase::Prefilling);
+                                table
+                                    .get_mut(id)
+                                    .expect("known request")
+                                    .prefill_start
+                                    .get_or_insert(now);
                             }
                         }
                         let wid = work_ids.next().raw();
@@ -436,10 +540,10 @@ impl ServingEngine {
                         {
                             continue;
                         }
-                        let batch: Vec<(RequestId, u64)> = requests
+                        let decode_batch: Vec<(RequestId, u64)> = requests
                             .iter()
                             .filter_map(|id| {
-                                let s = states.get(id)?;
+                                let s = table.get(*id)?;
                                 match s.phase {
                                     Phase::DecodeReady { generated } => {
                                         Some((*id, s.request.input_len + generated))
@@ -448,12 +552,12 @@ impl ServingEngine {
                                 }
                             })
                             .collect();
-                        if batch.is_empty() {
+                        if decode_batch.is_empty() {
                             continue;
                         }
                         let group =
                             EspGroup::with_masters(group_ids.next(), instances.clone(), masters);
-                        let plan = match DecodePlan::build(group, &batch, &pool) {
+                        let plan = match DecodePlan::build(group, &decode_batch, &pool) {
                             Ok(plan) => plan,
                             Err(_) => continue,
                         };
@@ -469,15 +573,17 @@ impl ServingEngine {
                         iterations += 1;
                         let done = now + SimDuration::from_secs(outcome.cost.total());
                         for &inst in &instances {
-                            busy_until.insert(inst, done);
+                            instances_state.dispatch(inst, done);
                             claimed.push(inst);
                         }
-                        let batch_ids: Vec<RequestId> = batch.iter().map(|(id, _)| *id).collect();
-                        for id in &batch_ids {
-                            if let Some(s) = states.get_mut(id) {
-                                if let Phase::DecodeReady { generated } = s.phase {
-                                    s.phase = Phase::Decoding { generated };
-                                }
+                        let batch_ids: Vec<RequestId> =
+                            decode_batch.iter().map(|(id, _)| *id).collect();
+                        for &id in &batch_ids {
+                            if let Some(Phase::DecodeReady { generated }) =
+                                table.get(id).map(|s| &s.phase)
+                            {
+                                let generated = *generated;
+                                set_phase(&mut table, id, Phase::Decoding { generated });
                             }
                         }
                         let wid = work_ids.next().raw();
@@ -502,7 +608,7 @@ impl ServingEngine {
                         {
                             continue;
                         }
-                        let Some(state) = states.get(&prefill_request) else {
+                        let Some(state) = table.get(prefill_request) else {
                             continue;
                         };
                         let Phase::Pending { prefilled } = state.phase else {
@@ -527,7 +633,7 @@ impl ServingEngine {
                         let decode_batch: Vec<(RequestId, u64)> = decode_requests
                             .iter()
                             .filter_map(|id| {
-                                let s = states.get(id)?;
+                                let s = table.get(*id)?;
                                 match s.phase {
                                     Phase::DecodeReady { generated } => {
                                         Some((*id, s.request.input_len + generated))
@@ -557,18 +663,23 @@ impl ServingEngine {
                         iterations += 1;
                         let done = now + SimDuration::from_secs(cost.total());
                         for &inst in &instances {
-                            busy_until.insert(inst, done);
+                            instances_state.dispatch(inst, done);
                             claimed.push(inst);
                         }
-                        if let Some(s) = states.get_mut(&prefill_request) {
-                            s.prefill_start.get_or_insert(now);
-                            s.phase = Phase::Prefilling;
+                        if table.contains(prefill_request) {
+                            table
+                                .get_mut(prefill_request)
+                                .expect("known request")
+                                .prefill_start
+                                .get_or_insert(now);
+                            set_phase(&mut table, prefill_request, Phase::Prefilling);
                         }
-                        for id in &decode_ok {
-                            if let Some(s) = states.get_mut(id) {
-                                if let Phase::DecodeReady { generated } = s.phase {
-                                    s.phase = Phase::Decoding { generated };
-                                }
+                        for &id in &decode_ok {
+                            if let Some(Phase::DecodeReady { generated }) =
+                                table.get(id).map(|s| &s.phase)
+                            {
+                                let generated = *generated;
+                                set_phase(&mut table, id, Phase::Decoding { generated });
                             }
                         }
                         let wid = work_ids.next().raw();
@@ -584,7 +695,7 @@ impl ServingEngine {
                         queue.push(done, EngineEvent::WorkComplete(wid));
                     }
                     Action::Migrate { request, targets } => {
-                        let Some(state) = states.get_mut(&request) else {
+                        let Some(state) = table.get(request) else {
                             continue;
                         };
                         let generated = match state.phase {
@@ -600,8 +711,8 @@ impl ServingEngine {
                         ) {
                             Ok(summary) => {
                                 migration_bytes += summary.total_bytes;
-                                state.phase = Phase::Migrating { generated };
-                                state.preemptions += 1;
+                                set_phase(&mut table, request, Phase::Migrating { generated });
+                                table.get_mut(request).expect("known request").preemptions += 1;
                                 let done = now + SimDuration::from_secs(summary.time_s.max(1e-6));
                                 let wid = work_ids.next().raw();
                                 in_flight.insert(wid, Work::Migration { request });
@@ -617,7 +728,7 @@ impl ServingEngine {
         let sim_time = queue.now();
         let mut records = Vec::new();
         let mut unfinished = 0usize;
-        for (_, s) in states {
+        for (_, s) in table.into_entries() {
             match s.phase {
                 Phase::Finished => {
                     records.push(RequestRecord {
@@ -651,14 +762,15 @@ impl ServingEngine {
         }
     }
 
-    /// Applies the effects of a completed piece of work.
+    /// Applies the effects of a completed piece of work, updating the phase
+    /// indices and the idle/busy partition as it goes.
     fn complete_work(
         work: Work,
         now: SimTime,
-        states: &mut HashMap<RequestId, RequestState>,
+        table: &mut RequestTable<RequestState>,
         pool: &mut UnifiedKvPool,
-        busy_until: &mut HashMap<InstanceId, SimTime>,
-        finished_decode_latencies: &mut Vec<f64>,
+        instances_state: &mut InstanceTracker,
+        decode_stats: &mut DecodeLatencyStats,
     ) {
         match work {
             Work::Prefill {
@@ -666,16 +778,16 @@ impl ServingEngine {
                 requests,
             } => {
                 for inst in instances {
-                    busy_until.remove(&inst);
+                    instances_state.complete(inst);
                 }
                 for id in requests {
-                    let s = states.get_mut(&id).expect("known request");
+                    let s = table.get_mut(id).expect("known request");
                     s.first_token.get_or_insert(now);
                     // The prefill produced the first output token.
                     if s.request.output_len <= 1 {
-                        Self::finish_request(s, id, now, pool, finished_decode_latencies);
+                        Self::finish_request(table, id, now, pool, decode_stats);
                     } else {
-                        s.phase = Phase::DecodeReady { generated: 1 };
+                        set_phase(table, id, Phase::DecodeReady { generated: 1 });
                     }
                 }
             }
@@ -684,18 +796,10 @@ impl ServingEngine {
                 requests,
             } => {
                 for inst in instances {
-                    busy_until.remove(&inst);
+                    instances_state.complete(inst);
                 }
                 for id in requests {
-                    let s = states.get_mut(&id).expect("known request");
-                    if let Phase::Decoding { generated } = s.phase {
-                        let generated = generated + 1;
-                        if generated >= s.request.output_len {
-                            Self::finish_request(s, id, now, pool, finished_decode_latencies);
-                        } else {
-                            s.phase = Phase::DecodeReady { generated };
-                        }
-                    }
+                    Self::advance_decode(table, id, now, pool, decode_stats);
                 }
             }
             Work::ChunkedPrefill {
@@ -705,61 +809,189 @@ impl ServingEngine {
                 decode_requests,
             } => {
                 for inst in instances {
-                    busy_until.remove(&inst);
+                    instances_state.complete(inst);
                 }
-                let s = states.get_mut(&prefill_request).expect("known request");
+                let s = table.get_mut(prefill_request).expect("known request");
                 // Advance the prompt; if it is done, the first token is out.
                 let prefilled = prefilled_after.min(s.request.input_len);
                 if prefilled >= s.request.input_len {
                     s.first_token.get_or_insert(now);
                     if s.request.output_len <= 1 {
-                        Self::finish_request(
-                            s,
-                            prefill_request,
-                            now,
-                            pool,
-                            finished_decode_latencies,
-                        );
+                        Self::finish_request(table, prefill_request, now, pool, decode_stats);
                     } else {
-                        s.phase = Phase::DecodeReady { generated: 1 };
+                        set_phase(table, prefill_request, Phase::DecodeReady { generated: 1 });
                     }
                 } else {
-                    s.phase = Phase::Pending { prefilled };
+                    set_phase(table, prefill_request, Phase::Pending { prefilled });
                 }
                 for id in decode_requests {
-                    let s = states.get_mut(&id).expect("known request");
-                    if let Phase::Decoding { generated } = s.phase {
-                        let generated = generated + 1;
-                        if generated >= s.request.output_len {
-                            Self::finish_request(s, id, now, pool, finished_decode_latencies);
-                        } else {
-                            s.phase = Phase::DecodeReady { generated };
-                        }
-                    }
+                    Self::advance_decode(table, id, now, pool, decode_stats);
                 }
             }
             Work::Migration { request } => {
-                let s = states.get_mut(&request).expect("known request");
-                if let Phase::Migrating { generated } = s.phase {
-                    s.phase = Phase::DecodeReady { generated };
+                if let Some(Phase::Migrating { generated }) = table.get(request).map(|s| &s.phase) {
+                    let generated = *generated;
+                    set_phase(table, request, Phase::DecodeReady { generated });
                 }
             }
         }
     }
 
-    fn finish_request(
-        state: &mut RequestState,
+    /// One decode iteration completed for `id`: emit a token, finishing the
+    /// request if that was the last one.
+    fn advance_decode(
+        table: &mut RequestTable<RequestState>,
         id: RequestId,
         now: SimTime,
         pool: &mut UnifiedKvPool,
-        finished_decode_latencies: &mut Vec<f64>,
+        decode_stats: &mut DecodeLatencyStats,
     ) {
-        state.phase = Phase::Finished;
+        let s = table.get(id).expect("known request");
+        if let Phase::Decoding { generated } = s.phase {
+            let generated = generated + 1;
+            if generated >= s.request.output_len {
+                Self::finish_request(table, id, now, pool, decode_stats);
+            } else {
+                set_phase(table, id, Phase::DecodeReady { generated });
+            }
+        }
+    }
+
+    fn finish_request(
+        table: &mut RequestTable<RequestState>,
+        id: RequestId,
+        now: SimTime,
+        pool: &mut UnifiedKvPool,
+        decode_stats: &mut DecodeLatencyStats,
+    ) {
+        let state = table.get_mut(id).expect("known request");
         state.finish = Some(now);
-        if let Some(ft) = state.first_token {
-            finished_decode_latencies.push(now.saturating_since(ft).as_secs());
+        let first_token = state.first_token;
+        set_phase(table, id, Phase::Finished);
+        if let Some(ft) = first_token {
+            decode_stats.record(now.saturating_since(ft).as_secs());
         }
         pool.release(id);
+    }
+}
+
+/// Debug-build shadow of the incrementally maintained scheduler-view state.
+///
+/// Every scheduling point, [`ViewAudit::check`] rebuilds the
+/// pending/decoding/idle/busy lists the slow way — a full scan over the
+/// append-only arrival log and over every per-instance pool, exactly the
+/// code the incremental indices replaced — and asserts the scratch buffers
+/// match element for element. Compiled only with debug assertions, so
+/// release builds (and benches) pay nothing; `cargo test` exercises it on
+/// every engine run, including the view-equivalence proptest over random
+/// traces.
+#[cfg(debug_assertions)]
+mod audit {
+    use super::*;
+
+    #[derive(Default)]
+    pub(super) struct ViewAudit {
+        /// Arrival log, in event order: the old engine's `arrived` vector.
+        arrived: Vec<RequestId>,
+    }
+
+    impl ViewAudit {
+        pub(super) fn on_arrival(&mut self, id: RequestId) {
+            self.arrived.push(id);
+        }
+
+        pub(super) fn check(
+            &self,
+            table: &RequestTable<RequestState>,
+            pool: &UnifiedKvPool,
+            registry: &InstanceRegistry,
+            instances_state: &InstanceTracker,
+            now: SimTime,
+            scratch: &ViewScratch,
+        ) {
+            table
+                .check_invariants()
+                .expect("request-table phase indices consistent");
+            pool.check_invariants()
+                .expect("kv-pool residency index consistent");
+
+            let naive_pending: Vec<PendingRequest> = self
+                .arrived
+                .iter()
+                .filter_map(|&id| {
+                    let s = table.get(id)?;
+                    match s.phase {
+                        Phase::Pending { prefilled } => Some(PendingRequest {
+                            id,
+                            arrival: s.request.arrival,
+                            input_len: s.request.input_len,
+                            prefilled_len: prefilled,
+                            max_output_len: s.request.max_output_len,
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect();
+            assert_eq!(
+                scratch.pending, naive_pending,
+                "incremental pending view diverged from full-scan rebuild"
+            );
+
+            let naive_decoding: Vec<DecodingRequest> = self
+                .arrived
+                .iter()
+                .filter_map(|&id| {
+                    let s = table.get(id)?;
+                    match s.phase {
+                        Phase::DecodeReady { generated } => Some(DecodingRequest {
+                            id,
+                            context_len: s.request.input_len + generated,
+                            generated,
+                            decode_time_s: s
+                                .first_token
+                                .map(|ft| now.saturating_since(ft).as_secs())
+                                .unwrap_or(0.0),
+                            // The naive path: scan every instance pool.
+                            kv_instances: (0..pool.num_instances())
+                                .map(InstanceId::from)
+                                .filter(|&i| pool.instance(i).hosts(id))
+                                .collect(),
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect();
+            assert_eq!(
+                scratch.decoding, naive_decoding,
+                "incremental decoding view diverged from full-scan rebuild"
+            );
+
+            // The old engine re-filtered every instance against `busy_until`
+            // with a time comparison; the tracker instead moves instances
+            // between sets on dispatch/complete. Equivalence additionally
+            // proves no stale busy entry (end time <= now) ever survives to
+            // a scheduling point.
+            let naive_idle: Vec<InstanceId> = registry
+                .all_ids()
+                .into_iter()
+                .filter(|&i| {
+                    instances_state
+                        .busy_until(i)
+                        .map(|t| t <= now)
+                        .unwrap_or(true)
+                })
+                .collect();
+            assert_eq!(
+                scratch.idle, naive_idle,
+                "incremental idle set diverged from busy_until re-filter"
+            );
+            for &(inst, until) in &scratch.busy {
+                assert!(
+                    until > now,
+                    "busy view contains stale entry: {inst} ended at {until:?} <= now {now:?}"
+                );
+            }
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
 use crate::pool::{InstanceKvPool, KvError};
 use loong_simcore::ids::{InstanceId, RequestId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A KV migration of part of one request between two instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +30,12 @@ pub struct KvMove {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UnifiedKvPool {
     pools: Vec<InstanceKvPool>,
+    /// Per-request residency index: which instances hold how many of each
+    /// request's tokens, kept sorted by instance id. Maintained on every
+    /// mutation so `locations_of`/`tokens_of` cost O(#locations) instead of
+    /// a scan over all instances, and `resident_requests` costs O(n)
+    /// instead of O(n²). The `BTreeMap` keeps iteration deterministic.
+    residency: BTreeMap<RequestId, Vec<(InstanceId, u64)>>,
 }
 
 impl UnifiedKvPool {
@@ -40,6 +46,7 @@ impl UnifiedKvPool {
             pools: (0..instances)
                 .map(|i| InstanceKvPool::new(InstanceId::from(i), capacity_per_instance))
                 .collect(),
+            residency: BTreeMap::new(),
         }
     }
 
@@ -52,6 +59,7 @@ impl UnifiedKvPool {
                 .enumerate()
                 .map(|(i, &c)| InstanceKvPool::new(InstanceId::from(i), c))
                 .collect(),
+            residency: BTreeMap::new(),
         }
     }
 
@@ -97,18 +105,63 @@ impl UnifiedKvPool {
         self.pools.iter().map(|p| p.capacity()).sum()
     }
 
-    /// Tokens `request` holds on each instance.
+    /// Tokens `request` holds on each instance, sorted by instance id.
+    /// Served from the residency index in O(#locations).
     pub fn locations_of(&self, request: RequestId) -> Vec<(InstanceId, u64)> {
-        self.pools
-            .iter()
-            .filter(|p| p.hosts(request))
-            .map(|p| (p.instance, p.used_by(request)))
-            .collect()
+        self.residency.get(&request).cloned().unwrap_or_default()
     }
 
-    /// Total tokens `request` holds across the pool.
+    /// Like [`Self::locations_of`] but without cloning: a borrowed view of
+    /// the request's residency, sorted by instance id.
+    pub fn locations_ref(&self, request: RequestId) -> &[(InstanceId, u64)] {
+        self.residency
+            .get(&request)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total tokens `request` holds across the pool, in O(#locations).
     pub fn tokens_of(&self, request: RequestId) -> u64 {
-        self.pools.iter().map(|p| p.used_by(request)).sum()
+        self.locations_ref(request).iter().map(|&(_, t)| t).sum()
+    }
+
+    /// Records `tokens` more slots for `request` on `instance` in the
+    /// residency index, keeping each per-request vector sorted by instance.
+    fn residency_add(&mut self, request: RequestId, instance: InstanceId, tokens: u64) {
+        if tokens == 0 {
+            return;
+        }
+        let locations = self.residency.entry(request).or_default();
+        match locations.binary_search_by_key(&instance, |&(i, _)| i) {
+            Ok(pos) => locations[pos].1 += tokens,
+            Err(pos) => locations.insert(pos, (instance, tokens)),
+        }
+    }
+
+    /// Removes `tokens` slots of `request` on `instance` from the residency
+    /// index, dropping empty entries.
+    fn residency_sub(&mut self, request: RequestId, instance: InstanceId, tokens: u64) {
+        if tokens == 0 {
+            return;
+        }
+        let locations = self
+            .residency
+            .get_mut(&request)
+            .expect("residency index tracks every resident request");
+        let pos = locations
+            .binary_search_by_key(&instance, |&(i, _)| i)
+            .expect("residency index tracks every location");
+        assert!(
+            locations[pos].1 >= tokens,
+            "residency index underflow for {request} on {instance}"
+        );
+        locations[pos].1 -= tokens;
+        if locations[pos].1 == 0 {
+            locations.remove(pos);
+        }
+        if locations.is_empty() {
+            self.residency.remove(&request);
+        }
     }
 
     /// Plans a placement of `tokens` for `request` restricted to
@@ -143,6 +196,7 @@ impl UnifiedKvPool {
             self.pools[inst.index()]
                 .allocate(plan.request, tokens)
                 .expect("checked above");
+            self.residency_add(plan.request, inst, tokens);
         }
         Ok(())
     }
@@ -155,12 +209,21 @@ impl UnifiedKvPool {
         instance: InstanceId,
         tokens: u64,
     ) -> Result<(), KvError> {
-        self.pools[instance.index()].allocate(request, tokens)
+        self.pools[instance.index()].allocate(request, tokens)?;
+        self.residency_add(request, instance, tokens);
+        Ok(())
     }
 
     /// Releases every slot held by `request`, returning the total freed.
+    /// Only the instances the residency index names are touched.
     pub fn release(&mut self, request: RequestId) -> u64 {
-        self.pools.iter_mut().map(|p| p.release(request)).sum()
+        let Some(locations) = self.residency.remove(&request) else {
+            return 0;
+        };
+        locations
+            .iter()
+            .map(|&(inst, _)| self.pools[inst.index()].release(request))
+            .sum()
     }
 
     /// Applies a migration: moves `tokens` of `request` from one instance to
@@ -199,6 +262,8 @@ impl UnifiedKvPool {
         self.pools[to.index()]
             .allocate(request, tokens)
             .expect("capacity checked above");
+        self.residency_sub(request, from, tokens);
+        self.residency_add(request, to, tokens);
         Ok(KvMove {
             request,
             from,
@@ -247,24 +312,56 @@ impl UnifiedKvPool {
         Some(moves)
     }
 
-    /// All requests resident anywhere in the pool.
+    /// All requests resident anywhere in the pool, sorted by id. Served
+    /// from the residency index in O(n) — no per-id dedup scan.
     pub fn resident_requests(&self) -> Vec<RequestId> {
-        let mut set: Vec<RequestId> = Vec::new();
-        for p in &self.pools {
-            for (r, _) in p.residents() {
-                if !set.contains(&r) {
-                    set.push(r);
-                }
-            }
-        }
-        set.sort();
-        set
+        self.residency.keys().copied().collect()
     }
 
-    /// Checks bookkeeping invariants on every instance pool.
+    /// Checks bookkeeping invariants on every instance pool, and that the
+    /// residency index agrees exactly with the per-instance pools.
     pub fn check_invariants(&self) -> Result<(), String> {
         for p in &self.pools {
             p.check_invariants()?;
+        }
+        // Every indexed location must match the owning pool...
+        for (&request, locations) in &self.residency {
+            if locations.is_empty() {
+                return Err(format!("residency index holds empty entry for {request}"));
+            }
+            let mut prev: Option<InstanceId> = None;
+            for &(inst, tokens) in locations {
+                if prev.is_some_and(|p| p >= inst) {
+                    return Err(format!("residency of {request} not sorted by instance"));
+                }
+                prev = Some(inst);
+                let actual = self.pools[inst.index()].used_by(request);
+                if tokens == 0 || actual != tokens {
+                    return Err(format!(
+                        "residency index says {request} holds {tokens} on {inst}, pool says {actual}"
+                    ));
+                }
+            }
+        }
+        // ...and every pool holding must be indexed (no stale omissions).
+        for p in &self.pools {
+            for (request, tokens) in p.residents() {
+                let indexed = self
+                    .residency
+                    .get(&request)
+                    .and_then(|l| {
+                        l.binary_search_by_key(&p.instance, |&(i, _)| i)
+                            .ok()
+                            .map(|pos| l[pos].1)
+                    })
+                    .unwrap_or(0);
+                if indexed != tokens {
+                    return Err(format!(
+                        "{}: {request} holds {tokens} slots but residency index says {indexed}",
+                        p.instance
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -281,8 +378,11 @@ impl UnifiedKvPool {
         }
     }
 
-    /// Per-instance utilisation in `[0, 1]`.
-    pub fn utilization(&self) -> HashMap<InstanceId, f64> {
+    /// Per-instance utilisation in `[0, 1]`, sorted by instance id.
+    ///
+    /// Returns a sorted `Vec` rather than a `HashMap` so callers that
+    /// iterate it (reports, schedulers) see a deterministic order.
+    pub fn utilization(&self) -> Vec<(InstanceId, f64)> {
         self.pools
             .iter()
             .map(|p| {
@@ -408,11 +508,52 @@ mod tests {
     }
 
     #[test]
-    fn utilization_reports_per_instance() {
+    fn utilization_reports_per_instance_in_sorted_order() {
         let mut p = UnifiedKvPool::with_capacities(&[100, 100]);
         p.append(RequestId(1), InstanceId(0), 50).expect("room");
         let u = p.utilization();
-        assert_eq!(u[&InstanceId(0)], 0.5);
-        assert_eq!(u[&InstanceId(1)], 0.0);
+        assert_eq!(u, vec![(InstanceId(0), 0.5), (InstanceId(1), 0.0)]);
+    }
+
+    #[test]
+    fn residency_index_tracks_all_mutations() {
+        let mut p = pool();
+        let plan = p
+            .plan(
+                RequestId(7),
+                250_000,
+                &[InstanceId(0), InstanceId(1), InstanceId(2)],
+                PlacementStrategy::Balanced,
+            )
+            .expect("fits");
+        p.commit(&plan).expect("commit");
+        p.append(RequestId(7), InstanceId(0), 5).expect("room");
+        let before = p.locations_of(RequestId(7));
+        assert_eq!(
+            before.iter().map(|&(_, t)| t).sum::<u64>(),
+            250_005,
+            "index covers commit + append"
+        );
+        assert!(p.check_invariants().is_ok());
+
+        let held0 = p.instance(InstanceId(0)).used_by(RequestId(7));
+        p.migrate(RequestId(7), InstanceId(0), InstanceId(2), held0)
+            .expect("room");
+        assert_eq!(p.locations_ref(RequestId(7)).len(), 2);
+        assert!(p.check_invariants().is_ok());
+
+        // A failed migrate must leave the index untouched.
+        let mut small = UnifiedKvPool::with_capacities(&[100, 10]);
+        small.append(RequestId(1), InstanceId(0), 50).expect("room");
+        assert!(small
+            .migrate(RequestId(1), InstanceId(0), InstanceId(1), 20)
+            .is_err());
+        assert_eq!(small.locations_of(RequestId(1)), vec![(InstanceId(0), 50)]);
+        assert!(small.check_invariants().is_ok());
+
+        assert_eq!(p.release(RequestId(7)), 250_005);
+        assert!(p.locations_ref(RequestId(7)).is_empty());
+        assert_eq!(p.resident_requests(), Vec::<RequestId>::new());
+        assert!(p.check_invariants().is_ok());
     }
 }

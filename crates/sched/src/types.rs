@@ -83,6 +83,65 @@ pub struct SchedulerView<'a> {
     pub avg_decode_latency_s: f64,
 }
 
+/// Reusable buffers for assembling a [`SchedulerView`] at every scheduling
+/// point.
+///
+/// The engine builds the `pending`/`decoding`/`idle`/`busy` slices
+/// thousands of times per simulated second; owning the vectors across
+/// scheduling points keeps the steady-state loop free of per-point
+/// allocations. [`ViewScratch::clear`] resets lengths but keeps capacity.
+#[derive(Debug, Default)]
+pub struct ViewScratch {
+    /// Pending requests, in arrival order.
+    pub pending: Vec<PendingRequest>,
+    /// Decode-ready requests, in arrival order.
+    pub decoding: Vec<DecodingRequest>,
+    /// Idle instances, sorted by id.
+    pub idle: Vec<InstanceId>,
+    /// Busy instances with their completion times, sorted by id.
+    pub busy: Vec<(InstanceId, SimTime)>,
+}
+
+impl ViewScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every buffer, retaining capacity for reuse.
+    pub fn clear(&mut self) {
+        self.pending.clear();
+        self.decoding.clear();
+        self.idle.clear();
+        self.busy.clear();
+    }
+
+    /// Assembles a [`SchedulerView`] over the current buffer contents.
+    #[allow(clippy::too_many_arguments)]
+    pub fn view<'a>(
+        &'a self,
+        now: SimTime,
+        pool: &'a UnifiedKvPool,
+        registry: &'a InstanceRegistry,
+        cost_model: &'a CostModel,
+        sib: &'a ScalingInfoBase,
+        avg_decode_latency_s: f64,
+    ) -> SchedulerView<'a> {
+        SchedulerView {
+            now,
+            pending: &self.pending,
+            decoding: &self.decoding,
+            idle_instances: &self.idle,
+            busy_instances: &self.busy,
+            pool,
+            registry,
+            cost_model,
+            sib,
+            avg_decode_latency_s,
+        }
+    }
+}
+
 impl SchedulerView<'_> {
     /// Free KV slots across a set of instances.
     pub fn free_slots_on(&self, instances: &[InstanceId]) -> u64 {

@@ -147,15 +147,25 @@ impl<E> EventQueue<E> {
     /// Drains all events scheduled at exactly the next timestamp, advancing
     /// the clock once. Useful for coalescing simultaneous arrivals.
     pub fn pop_simultaneous(&mut self) -> Vec<Event<E>> {
+        let mut out = Vec::new();
+        self.pop_simultaneous_into(&mut out);
+        out
+    }
+
+    /// Like [`Self::pop_simultaneous`], but clears and fills a caller-owned
+    /// buffer so a hot loop can reuse one allocation across scheduling
+    /// steps. Returns the number of events delivered.
+    pub fn pop_simultaneous_into(&mut self, out: &mut Vec<Event<E>>) -> usize {
+        out.clear();
         let Some(first) = self.pop() else {
-            return Vec::new();
+            return 0;
         };
         let t = first.at;
-        let mut out = vec![first];
+        out.push(first);
         while self.peek_time() == Some(t) {
             out.push(self.pop().expect("peeked event exists"));
         }
-        out
+        out.len()
     }
 }
 
@@ -211,6 +221,26 @@ mod tests {
         let batch = q.pop_simultaneous();
         assert_eq!(batch.len(), 2);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_simultaneous_into_reuses_the_buffer() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), "a");
+        q.push(SimTime::from_secs(1.0), "b");
+        q.push(SimTime::from_secs(2.0), "c");
+        let mut buf = vec![Event {
+            at: SimTime::ZERO,
+            seq: 0,
+            payload: "stale",
+        }];
+        assert_eq!(q.pop_simultaneous_into(&mut buf), 2);
+        assert_eq!(buf.len(), 2, "buffer cleared before refill");
+        assert_eq!(buf[0].payload, "a");
+        assert_eq!(q.pop_simultaneous_into(&mut buf), 1);
+        assert_eq!(buf[0].payload, "c");
+        assert_eq!(q.pop_simultaneous_into(&mut buf), 0);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`rng`] — a seedable, splittable PRNG so experiments reproduce exactly,
 //! * [`distributions`] — the samplers behind workload generation
 //!   (Poisson arrivals, Zipf mixtures, log-uniform/log-normal lengths),
-//! * [`ids`] — strongly-typed identifiers shared across the workspace.
+//! * [`ids`] — strongly-typed identifiers shared across the workspace,
+//! * [`table`] — a dense request table with incrementally maintained
+//!   phase indices, the backbone of the engine's O(active) run loop.
 //!
 //! # Examples
 //!
@@ -43,10 +45,12 @@ pub mod distributions;
 pub mod events;
 pub mod ids;
 pub mod rng;
+pub mod table;
 pub mod time;
 
 pub use distributions::{Empirical, Exponential, LogNormal, LogUniform, Zipf};
 pub use events::{Event, EventQueue};
 pub use ids::{BatchId, GpuId, GroupId, IdAllocator, InstanceId, NodeId, RequestId};
 pub use rng::SimRng;
+pub use table::{PhaseClass, RequestTable};
 pub use time::{SimDuration, SimTime};

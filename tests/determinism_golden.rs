@@ -1,0 +1,124 @@
+//! Golden determinism tests for the serving engine.
+//!
+//! These pin a 64-bit digest of the full [`RunOutcome`] — every record
+//! timestamp bit, every rejection, every scaling event — for identically
+//! seeded runs of LoongServe and one baseline. The constants were captured
+//! from the engine *before* the incremental scheduler-view refactor; the
+//! refactored engine must reproduce them bit-for-bit, which is the
+//! acceptance oracle for "O(active) bookkeeping changes no decision".
+//!
+//! To re-capture after an *intentional* behaviour change, run:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test --test determinism_golden -- --nocapture
+//! ```
+
+use loongserve::prelude::*;
+
+/// FNV-1a over a stream of u64 words.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn time(&mut self, t: SimTime) {
+        self.word(t.as_secs().to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        for b in s.bytes() {
+            self.word(b as u64);
+        }
+    }
+}
+
+/// A bit-for-bit digest of everything in a [`RunOutcome`].
+fn outcome_digest(outcome: &RunOutcome) -> u64 {
+    let mut d = Digest::new();
+    d.word(outcome.records.len() as u64);
+    for r in &outcome.records {
+        d.word(r.id.raw());
+        d.time(r.arrival);
+        d.word(r.input_len);
+        d.word(r.output_len);
+        d.time(r.prefill_start);
+        d.time(r.first_token);
+        d.time(r.finish);
+        d.word(r.preemptions as u64);
+    }
+    d.word(outcome.rejected.len() as u64);
+    for (id, reason) in &outcome.rejected {
+        d.word(id.raw());
+        d.str(reason);
+    }
+    d.word(outcome.unfinished as u64);
+    d.word(outcome.scaling_events.len() as u64);
+    for e in &outcome.scaling_events {
+        d.time(e.at);
+        d.word(e.delta_instances as u64);
+    }
+    d.time(outcome.sim_time);
+    d.word(outcome.iterations);
+    d.word(outcome.migration_bytes.to_bits());
+    d.word(outcome.scheduler_calls);
+    d.0
+}
+
+fn run_digest(kind: SystemKind, dataset: DatasetKind, rate: f64, count: usize, seed: u64) -> u64 {
+    let trace = WorkloadSpec::Dataset(dataset).generate(rate, count, seed);
+    let system = SystemUnderTest::paper_single_node(kind);
+    let mut engine = system.build_engine(Some(&trace));
+    outcome_digest(&engine.run(&trace))
+}
+
+fn check(label: &str, expected: u64, actual: u64) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLDEN {label} = 0x{actual:016x}");
+        return;
+    }
+    assert_eq!(
+        actual, expected,
+        "{label}: RunOutcome digest changed: expected 0x{expected:016x}, got 0x{actual:016x}. \
+         Engine bookkeeping refactors must be bit-for-bit neutral; re-capture with \
+         GOLDEN_PRINT=1 only for intentional behaviour changes."
+    );
+}
+
+#[test]
+fn loongserve_sharegpt_outcome_is_pinned() {
+    let actual = run_digest(SystemKind::LoongServe, DatasetKind::ShareGpt, 6.0, 80, 4242);
+    check("loongserve_sharegpt", GOLDEN_LOONGSERVE_SHAREGPT, actual);
+}
+
+#[test]
+fn loongserve_mixed_outcome_is_pinned() {
+    let actual = run_digest(SystemKind::LoongServe, DatasetKind::Mixed, 0.8, 40, 77);
+    check("loongserve_mixed", GOLDEN_LOONGSERVE_MIXED, actual);
+}
+
+#[test]
+fn vllm_baseline_outcome_is_pinned() {
+    let actual = run_digest(SystemKind::Vllm, DatasetKind::ShareGpt, 6.0, 80, 4242);
+    check("vllm_sharegpt", GOLDEN_VLLM_SHAREGPT, actual);
+}
+
+#[test]
+fn repeated_runs_reproduce_the_digest() {
+    let a = run_digest(SystemKind::LoongServe, DatasetKind::ShareGpt, 6.0, 40, 9);
+    let b = run_digest(SystemKind::LoongServe, DatasetKind::ShareGpt, 6.0, 40, 9);
+    assert_eq!(a, b, "identical seeds must reproduce identical outcomes");
+}
+
+// Captured from the pre-refactor engine (HashMap states + full-scan view
+// rebuild) at commit a66a012; see module docs for the re-capture procedure.
+const GOLDEN_LOONGSERVE_SHAREGPT: u64 = 0x313d_174f_011c_a40b;
+const GOLDEN_LOONGSERVE_MIXED: u64 = 0xe045_5f8a_c734_c8e8;
+const GOLDEN_VLLM_SHAREGPT: u64 = 0x9fe5_405f_ae70_e47a;
