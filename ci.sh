@@ -30,6 +30,13 @@ smoke_out=$(cargo bench --bench engine_scaling -- --smoke)
 printf '%s\n' "$smoke_out"
 printf '%s\n' "$smoke_out" | grep -q "^ENGINE_SCALING requests=1000"
 
+step "fleet-scaling perf smoke (800-request trace, 1 and 2 replicas)"
+# Mirrors the engine smoke: fails if the fleet bench stops printing its
+# 2-replica summary line. Reference numbers live in BENCH_fleet.json.
+fleet_out=$(cargo bench --bench fleet_scaling -- --smoke)
+printf '%s\n' "$fleet_out"
+printf '%s\n' "$fleet_out" | grep -q "^FLEET_SCALING replicas=2"
+
 step "cargo build --examples"
 cargo build --examples
 

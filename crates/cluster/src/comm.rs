@@ -185,6 +185,97 @@ mod tests {
     }
 
     #[test]
+    fn one_byte_collectives_are_latency_bound() {
+        // At tiny message sizes the alpha term dominates: the cost is the
+        // step count times the link latency, essentially independent of
+        // the payload.
+        let m = nvlink_model();
+        let lat = m.link.latency;
+        for n in [2usize, 4, 8] {
+            let t = m.ring_allreduce(1.0, n);
+            let alpha_only = (2 * (n - 1)) as f64 * lat;
+            assert!(
+                ((t - alpha_only) / alpha_only).abs() < 1e-6,
+                "n={n}: {t} vs alpha {alpha_only}"
+            );
+            let g = m.ring_allgather(1.0, n);
+            assert!(((g - (n - 1) as f64 * lat) / g).abs() < 1e-6);
+        }
+        // Doubling a latency-bound payload barely moves the cost (but the
+        // cost itself never decreases with size).
+        let t1 = m.ring_allreduce(8.0, 8);
+        let t2 = m.ring_allreduce(16.0, 8);
+        assert!(t2 >= t1);
+        assert!((t2 - t1) / t1 < 1e-6);
+    }
+
+    #[test]
+    fn huge_collectives_are_bandwidth_bound() {
+        // At large sizes the beta term dominates: cost scales linearly
+        // with bytes and the alpha term disappears in the noise.
+        let m = nvlink_model();
+        let t1 = m.ring_allreduce(10.0 * GB, 8);
+        let t2 = m.ring_allreduce(20.0 * GB, 8);
+        assert!((t2 / t1 - 2.0).abs() < 1e-3, "ratio {}", t2 / t1);
+        let volume_time = 2.0 * 7.0 / 8.0 * 10.0 * GB / m.link.bandwidth;
+        assert!(((t1 - volume_time) / t1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn latency_bandwidth_crossover_sits_at_the_alpha_beta_balance() {
+        // The crossover size is where the alpha and beta terms are equal:
+        // steps * latency == volume / bandwidth. For a ring all-reduce over
+        // n peers that is bytes* = n * latency * bandwidth (per the
+        // 2(n-1) steps and 2(n-1)/n volume factors cancelling).
+        let m = nvlink_model();
+        let n = 8usize;
+        let crossover = n as f64 * m.link.latency * m.link.bandwidth;
+        let t = m.ring_allreduce(crossover, n);
+        let alpha = (2 * (n - 1)) as f64 * m.link.latency;
+        // At the crossover the total is exactly twice the alpha term...
+        assert!((t - 2.0 * alpha).abs() / t < 1e-9);
+        // ...below it latency dominates, above it bandwidth does.
+        let below = m.ring_allreduce(crossover / 100.0, n);
+        let above = m.ring_allreduce(crossover * 100.0, n);
+        assert!(below < 1.02 * alpha);
+        assert!(above > 50.0 * alpha);
+    }
+
+    #[test]
+    fn n1_and_zero_byte_edges_are_free_for_every_collective() {
+        let m = nvlink_model();
+        // n = 1: no peers, no cost, regardless of size.
+        assert_eq!(m.ring_allreduce(f64::MAX, 1), 0.0);
+        assert_eq!(m.ring_allgather(f64::MAX, 1), 0.0);
+        assert_eq!(m.broadcast(f64::MAX, 1), 0.0);
+        assert_eq!(m.master_exchange(f64::MAX, 1), 0.0);
+        // zero bytes: nothing to move, even across many peers.
+        assert_eq!(m.ring_allgather(0.0, 8), 0.0);
+        assert_eq!(m.broadcast(0.0, 8), 0.0);
+        assert_eq!(m.master_exchange(0.0, 8), 0.0);
+        assert_eq!(m.migrate(0.0), 0.0);
+        // n = 2 is the smallest paying configuration.
+        assert!(m.ring_allreduce(1.0, 2) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participant_allreduce_panics() {
+        let _ = nvlink_model().ring_allreduce(1.0, 0);
+    }
+
+    #[test]
+    fn inter_node_link_pays_more_latency_than_nvlink() {
+        // The same collective over the InfiniBand fabric must cost at
+        // least as much as over NVLink in both regimes.
+        let nv = nvlink_model();
+        let ib = CommModel::new(LinkSpec::infiniband_4x200g());
+        assert!(ib.ring_allreduce(1.0, 8) >= nv.ring_allreduce(1.0, 8));
+        assert!(ib.ring_allreduce(1.0 * GB, 8) >= nv.ring_allreduce(1.0 * GB, 8));
+        assert!(ib.ring_sendrecv_step(1.0 * GB) >= nv.ring_sendrecv_step(1.0 * GB));
+    }
+
+    #[test]
     fn comm_volume_accumulates() {
         let mut v = CommVolume::default();
         v.add(&CommVolume {

@@ -62,9 +62,14 @@ impl ClusterSpec {
 
     /// A custom homogeneous cluster.
     ///
+    /// Construction is checked by [`ClusterSpec::validate`] — the single
+    /// source of truth for topology invariants — so `custom` can never
+    /// accept a spec that `validate` would reject.
+    ///
     /// # Panics
     ///
-    /// Panics if `nodes` or `gpus_per_node` is zero.
+    /// Panics if the spec fails validation: zero `nodes` or
+    /// `gpus_per_node`, or an invalid [`GpuSpec`].
     pub fn custom(
         nodes: usize,
         gpus_per_node: usize,
@@ -72,15 +77,17 @@ impl ClusterSpec {
         intra_node_link: LinkSpec,
         inter_node_link: LinkSpec,
     ) -> Self {
-        assert!(nodes > 0, "cluster needs at least one node");
-        assert!(gpus_per_node > 0, "nodes need at least one GPU");
-        ClusterSpec {
+        let spec = ClusterSpec {
             nodes,
             gpus_per_node,
             gpu,
             intra_node_link,
             inter_node_link,
+        };
+        if let Err(err) = spec.validate() {
+            panic!("invalid custom cluster: {err}");
         }
+        spec
     }
 
     /// Total number of GPUs in the cluster.
@@ -238,6 +245,122 @@ mod tests {
     fn validate_catches_bad_config() {
         let mut c = ClusterSpec::single_node_a800(8);
         c.nodes = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn custom_builds_valid_multi_node_specs() {
+        let c = ClusterSpec::custom(
+            3,
+            4,
+            GpuSpec::a800_80gb(),
+            LinkSpec::nvlink_a800(),
+            LinkSpec::infiniband_4x200g(),
+        );
+        assert_eq!(c.total_gpus(), 12);
+        assert!(c.validate().is_ok());
+    }
+
+    // Regression: `custom` must route through `validate` rather than
+    // asserting a private copy of the preconditions, so the two can never
+    // drift. The panic messages below are the *validate* messages.
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn custom_rejects_zero_nodes_via_validate() {
+        let _ = ClusterSpec::custom(
+            0,
+            8,
+            GpuSpec::a800_80gb(),
+            LinkSpec::nvlink_a800(),
+            LinkSpec::infiniband_4x200g(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn custom_rejects_zero_gpus_via_validate() {
+        let _ = ClusterSpec::custom(
+            2,
+            0,
+            GpuSpec::a800_80gb(),
+            LinkSpec::nvlink_a800(),
+            LinkSpec::infiniband_4x200g(),
+        );
+    }
+
+    // The old inline asserts never checked the GPU; going through
+    // `validate` makes `custom` inherit every check it has — including
+    // ones added later.
+    #[test]
+    #[should_panic(expected = "peak_flops must be positive")]
+    fn custom_rejects_invalid_gpu_via_validate() {
+        let mut gpu = GpuSpec::a800_80gb();
+        gpu.peak_flops = -1.0;
+        let _ = ClusterSpec::custom(
+            1,
+            8,
+            gpu,
+            LinkSpec::nvlink_a800(),
+            LinkSpec::infiniband_4x200g(),
+        );
+    }
+
+    #[test]
+    fn three_node_custom_spec_maps_nodes_and_links() {
+        let c = ClusterSpec::custom(
+            3,
+            4,
+            GpuSpec::a800_80gb(),
+            LinkSpec::nvlink_a800(),
+            LinkSpec::infiniband_4x200g(),
+        );
+        // Node boundaries at GPU indices 0..4, 4..8, 8..12.
+        assert_eq!(c.node_of(GpuId(0)), NodeId(0));
+        assert_eq!(c.node_of(GpuId(3)), NodeId(0));
+        assert_eq!(c.node_of(GpuId(4)), NodeId(1));
+        assert_eq!(c.node_of(GpuId(11)), NodeId(2));
+        assert_eq!(
+            c.gpus_on_node(NodeId(2)),
+            vec![GpuId(8), GpuId(9), GpuId(10), GpuId(11)]
+        );
+        // Per-node GPU sets are single-node; any cross-node set is not.
+        for node in 0..3 {
+            assert!(c.is_single_node(&c.gpus_on_node(NodeId(node as u64))));
+        }
+        assert!(!c.is_single_node(&[GpuId(3), GpuId(4)]));
+        assert!(!c.is_single_node(&[GpuId(0), GpuId(5), GpuId(9)]));
+        // Bottleneck: intra-node within a node, inter-node as soon as the
+        // set spans a boundary.
+        let b_intra = c.bottleneck_link(&c.gpus_on_node(NodeId(1)));
+        assert_eq!(b_intra.bandwidth, c.intra_node_link.bandwidth);
+        let b_cross = c.bottleneck_link(&[GpuId(0), GpuId(4), GpuId(8)]);
+        assert_eq!(b_cross.bandwidth, c.inter_node_link.bandwidth);
+    }
+
+    #[test]
+    fn single_gpu_set_bottleneck_is_intra_node() {
+        let c = ClusterSpec::two_node_a800();
+        let b = c.bottleneck_link(&[GpuId(9)]);
+        assert_eq!(b.bandwidth, c.intra_node_link.bandwidth);
+        assert!(c.is_single_node(&[GpuId(9)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpus_on_out_of_range_node_panics() {
+        let c = ClusterSpec::two_node_a800();
+        let _ = c.gpus_on_node(NodeId(2));
+    }
+
+    #[test]
+    fn validate_surfaces_gpu_errors_on_multi_node_specs() {
+        let mut c = ClusterSpec::two_node_a800();
+        assert!(c.validate().is_ok());
+        c.gpu.memory_bytes = 0.0;
+        let err = c.validate().expect_err("invalid GPU must fail");
+        assert!(err.contains("memory_bytes"), "unexpected error: {err}");
+        c.gpu = GpuSpec::a800_80gb();
+        c.gpus_per_node = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -1,0 +1,408 @@
+//! The fleet tier: many serving replicas behind a cluster router.
+//!
+//! LoongServe's elastic-sequence-parallel groups regroup *inside* one
+//! replica — one node with its own global manager, unified KV pool and
+//! eight GPUs. The paper's deployment setting (and the roadmap's "heavy
+//! traffic from millions of users") adds a tier above that: a fleet of
+//! such replicas behind a dispatcher, the same tier DistServe assumes
+//! above its prefill/decode pools. [`FleetEngine`] is that tier.
+//!
+//! A fleet run has three phases:
+//!
+//! 1. **Route.** Requests are walked in arrival order; the configured
+//!    [`Router`] policy assigns each to a replica using the fleet's
+//!    incrementally maintained [`FleetLoadTracker`] — O(1) bookkeeping per
+//!    assignment, O(replicas) per decision, never a scan of any replica's
+//!    request table. The engine-level O(active) invariant holds at fleet
+//!    scope.
+//! 2. **Serve.** The trace is split into per-replica sub-traces
+//!    ([`Trace::split_by_assignment`]) and each replica — an independent
+//!    [`ServingEngine`] built exactly as the single-engine path builds it —
+//!    replays its sub-trace. Replicas share nothing, so they can run on
+//!    worker threads without perturbing determinism.
+//! 3. **Merge.** Per-replica [`RunOutcome`]s are merged into a
+//!    [`FleetOutcome`]: records and rejections in request-id order,
+//!    counters summed, simulated time maximised. A 1-replica fleet under
+//!    the passthrough router reproduces the bare engine's outcome bit for
+//!    bit (`tests/fleet_equivalence.rs` pins this).
+//!
+//! Every policy is deterministic with sorted tie-breaking, so
+//! identically-seeded fleet runs are bit-for-bit reproducible.
+
+use crate::engine::RunOutcome;
+use crate::systems::{SystemKind, SystemUnderTest};
+use loong_cluster::topology::ClusterSpec;
+use loong_metrics::fleet::FleetSummary;
+use loong_metrics::record::RequestRecord;
+use loong_metrics::slo::SloSpec;
+use loong_model::config::ModelConfig;
+use loong_sched::router::{FleetLoadTracker, RouteRequest, Router, RouterPolicy};
+use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::time::SimTime;
+use loong_workload::trace::Trace;
+
+/// Static configuration of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of replicas. Each is a full serving system: its own cluster
+    /// node(s), global manager and unified KV pool.
+    pub replicas: usize,
+    /// The serving system every replica runs (scheduler + parallelism
+    /// shape). Fleets are homogeneous.
+    pub system: SystemKind,
+    /// The cluster owned by **each** replica (not shared): the paper's
+    /// default is one 8-GPU A800 node per replica.
+    pub cluster: ClusterSpec,
+    /// The model served by every replica.
+    pub model: ModelConfig,
+    /// Seed of each replica's engine-internal randomness. Replicas use the
+    /// same seed: they model identical hardware profiled identically, and
+    /// replica 0's engine stays bit-for-bit the single-engine baseline.
+    pub seed: u64,
+    /// The routing policy assigning arriving requests to replicas.
+    pub policy: RouterPolicy,
+    /// Run replicas on worker threads. Purely a wall-clock choice: replicas
+    /// are independent, so the outcome is identical either way.
+    pub parallel: bool,
+}
+
+impl FleetConfig {
+    /// A fleet of `replicas` copies of the paper's single-node testbed
+    /// (8× A800, LWM-1M-Text) under the given routing policy.
+    pub fn paper_fleet(system: SystemKind, replicas: usize, policy: RouterPolicy) -> Self {
+        let single = SystemUnderTest::paper_single_node(system);
+        FleetConfig {
+            replicas,
+            system,
+            cluster: single.cluster,
+            model: single.model,
+            seed: single.seed,
+            policy,
+            parallel: false,
+        }
+    }
+
+    /// The single-replica system equivalent to one replica of this fleet.
+    fn replica_system(&self) -> SystemUnderTest {
+        SystemUnderTest {
+            kind: self.system,
+            cluster: self.cluster.clone(),
+            model: self.model.clone(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// The outcome of one replica within a fleet run.
+#[derive(Debug, Clone)]
+pub struct ReplicaOutcome {
+    /// The replica.
+    pub replica: ReplicaId,
+    /// Requests the router assigned to this replica.
+    pub assigned: usize,
+    /// The replica's own engine outcome over its sub-trace.
+    pub outcome: RunOutcome,
+}
+
+/// The merged result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Per-replica outcomes, in replica-id order.
+    pub per_replica: Vec<ReplicaOutcome>,
+    /// The replica each request was routed to, in trace order.
+    pub assignments: Vec<(RequestId, ReplicaId)>,
+    /// Completed requests across the fleet, sorted by request id.
+    pub records: Vec<RequestRecord>,
+    /// Rejected requests across the fleet, sorted by request id.
+    pub rejected: Vec<(RequestId, String)>,
+    /// Requests neither finished nor rejected when their replica's run
+    /// ended, summed across replicas.
+    pub unfinished: usize,
+    /// Simulated makespan of the fleet: the slowest replica's run time
+    /// (replicas run concurrently in simulated time).
+    pub sim_time: SimTime,
+    /// Iterations executed across all replicas.
+    pub iterations: u64,
+    /// Bytes moved by explicit KV migrations across all replicas.
+    pub migration_bytes: f64,
+    /// Scheduler invocations across all replicas.
+    pub scheduler_calls: u64,
+}
+
+impl FleetOutcome {
+    /// Number of replicas that took part in the run.
+    pub fn replicas(&self) -> usize {
+        self.per_replica.len()
+    }
+
+    /// Total requests accounted for: completed + rejected + unfinished.
+    pub fn total_requests(&self) -> usize {
+        self.records.len() + self.rejected.len() + self.unfinished
+    }
+
+    /// Fleet-level metric summary: merged aggregate plus the per-replica
+    /// breakdown.
+    pub fn summary(
+        &self,
+        system: &str,
+        workload: &str,
+        request_rate: f64,
+        slo: &SloSpec,
+    ) -> FleetSummary {
+        let replica_records: Vec<&[RequestRecord]> = self
+            .per_replica
+            .iter()
+            .map(|r| r.outcome.records.as_slice())
+            .collect();
+        FleetSummary::from_replica_records(system, workload, request_rate, &replica_records, slo)
+    }
+}
+
+/// A fleet of serving replicas behind a cluster router.
+pub struct FleetEngine {
+    config: FleetConfig,
+    router: Box<dyn Router>,
+}
+
+impl FleetEngine {
+    /// Builds a fleet for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero replicas or an invalid cluster.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.replicas > 0, "a fleet needs at least one replica");
+        config.cluster.validate().expect("valid replica cluster");
+        let router = config.policy.build();
+        FleetEngine { config, router }
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The router's report label.
+    pub fn router_name(&self) -> String {
+        self.router.name()
+    }
+
+    /// Routes every request of `trace` in arrival order, returning the
+    /// per-request replica assignment (indexing `trace.requests`).
+    ///
+    /// Routing is pure dispatch: the load tracker advances by running sums
+    /// only, so the whole pass is O(requests × replicas) with O(replicas)
+    /// state — independent of how many requests any replica has absorbed.
+    ///
+    /// Every call starts from a fresh router and load tracker, so routing
+    /// (and therefore [`FleetEngine::run`]) is a pure function of the
+    /// configuration and the trace: reusing one engine across traces
+    /// cannot leak round-robin counters or probe-RNG state between runs.
+    pub fn route(&mut self, trace: &Trace) -> Vec<usize> {
+        self.router = self.config.policy.build();
+        let mut tracker = FleetLoadTracker::new(self.config.replicas);
+        let mut assignment = Vec::with_capacity(trace.requests.len());
+        for req in &trace.requests {
+            let route_req = RouteRequest {
+                id: req.id,
+                arrival: req.arrival,
+                input_len: req.input_len,
+                max_output_len: req.max_output_len,
+            };
+            let replica = self.router.route(&route_req, tracker.loads());
+            assert!(
+                replica.index() < self.config.replicas,
+                "router returned out-of-range {replica}"
+            );
+            tracker.on_assign(replica, &route_req);
+            assignment.push(replica.index());
+        }
+        assignment
+    }
+
+    /// Runs the fleet over a trace: route, serve every replica, merge.
+    pub fn run(&mut self, trace: &Trace) -> FleetOutcome {
+        let assignment = self.route(trace);
+        let subs = trace.split_by_assignment(self.config.replicas, &assignment);
+        let assignments: Vec<(RequestId, ReplicaId)> = trace
+            .requests
+            .iter()
+            .zip(&assignment)
+            .map(|(req, &replica)| (req.id, ReplicaId::from(replica)))
+            .collect();
+
+        let system = self.config.replica_system();
+        let run_replica = |sub: &Trace| -> RunOutcome {
+            let mut engine = system.build_engine(Some(sub));
+            engine.run(sub)
+        };
+        let outcomes: Vec<RunOutcome> = if self.config.parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = subs
+                    .iter()
+                    .map(|sub| scope.spawn(|| run_replica(sub)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("replica worker panicked"))
+                    .collect()
+            })
+        } else {
+            subs.iter().map(run_replica).collect()
+        };
+
+        Self::merge(subs, outcomes, assignments)
+    }
+
+    /// Merges per-replica outcomes into the fleet outcome. Merge order is
+    /// deterministic: records and rejections sort by request id, counters
+    /// sum in replica-id order.
+    fn merge(
+        subs: Vec<Trace>,
+        outcomes: Vec<RunOutcome>,
+        assignments: Vec<(RequestId, ReplicaId)>,
+    ) -> FleetOutcome {
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut rejected: Vec<(RequestId, String)> = Vec::new();
+        let mut unfinished = 0usize;
+        let mut sim_time = SimTime::ZERO;
+        let mut iterations = 0u64;
+        let mut migration_bytes = 0.0f64;
+        let mut scheduler_calls = 0u64;
+        let mut per_replica = Vec::with_capacity(outcomes.len());
+        for (i, (sub, outcome)) in subs.into_iter().zip(outcomes).enumerate() {
+            records.extend(outcome.records.iter().copied());
+            rejected.extend(outcome.rejected.iter().cloned());
+            unfinished += outcome.unfinished;
+            sim_time = sim_time.max(outcome.sim_time);
+            iterations += outcome.iterations;
+            migration_bytes += outcome.migration_bytes;
+            scheduler_calls += outcome.scheduler_calls;
+            per_replica.push(ReplicaOutcome {
+                replica: ReplicaId::from(i),
+                assigned: sub.len(),
+                outcome,
+            });
+        }
+        records.sort_by_key(|r| r.id);
+        rejected.sort_by_key(|r| r.0);
+        FleetOutcome {
+            per_replica,
+            assignments,
+            records,
+            rejected,
+            unfinished,
+            sim_time,
+            iterations,
+            migration_bytes,
+            scheduler_calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WorkloadSpec;
+    use loong_workload::datasets::DatasetKind;
+
+    fn small_trace(count: usize, seed: u64) -> Trace {
+        WorkloadSpec::Dataset(DatasetKind::ShareGpt).generate(8.0, count, seed)
+    }
+
+    #[test]
+    fn fleet_accounts_for_every_request() {
+        let config = FleetConfig::paper_fleet(SystemKind::LoongServe, 2, RouterPolicy::RoundRobin);
+        let mut fleet = FleetEngine::new(config);
+        let trace = small_trace(24, 3);
+        let outcome = fleet.run(&trace);
+        assert_eq!(outcome.replicas(), 2);
+        assert_eq!(outcome.total_requests(), 24);
+        assert_eq!(outcome.assignments.len(), 24);
+        assert_eq!(
+            outcome
+                .per_replica
+                .iter()
+                .map(|r| r.assigned)
+                .sum::<usize>(),
+            24
+        );
+        // Round-robin over an even count splits exactly in half.
+        assert_eq!(outcome.per_replica[0].assigned, 12);
+        assert_eq!(outcome.per_replica[1].assigned, 12);
+        assert!(outcome.records.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn parallel_and_serial_replica_execution_agree() {
+        let trace = small_trace(20, 7);
+        let run = |parallel: bool| {
+            let mut config = FleetConfig::paper_fleet(
+                SystemKind::LoongServe,
+                3,
+                RouterPolicy::JoinShortestQueue,
+            );
+            config.parallel = parallel;
+            FleetEngine::new(config).run(&trace)
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert_eq!(serial.records, parallel.records);
+        assert_eq!(serial.rejected, parallel.rejected);
+        assert_eq!(serial.iterations, parallel.iterations);
+        assert_eq!(serial.sim_time, parallel.sim_time);
+    }
+
+    #[test]
+    fn fleet_summary_merges_and_breaks_down() {
+        let config = FleetConfig::paper_fleet(SystemKind::LoongServe, 2, RouterPolicy::RoundRobin);
+        let mut fleet = FleetEngine::new(config);
+        let trace = small_trace(16, 5);
+        let outcome = fleet.run(&trace);
+        let summary = outcome.summary(
+            "LoongServe x2",
+            "ShareGPT",
+            8.0,
+            &SloSpec::default_for_lwm(),
+        );
+        assert_eq!(summary.replicas(), 2);
+        assert_eq!(
+            summary.fleet.completed,
+            summary
+                .per_replica
+                .iter()
+                .map(|s| s.completed)
+                .sum::<usize>()
+        );
+        assert_eq!(summary.fleet.completed, outcome.records.len());
+    }
+
+    #[test]
+    fn reusing_one_engine_reproduces_the_run() {
+        // 21 % 2 != 0: a round-robin counter surviving the first run would
+        // shift the second run's assignments by one; a power-of-two probe
+        // stream surviving would shift every probe pair.
+        let trace = small_trace(21, 13);
+        for policy in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::PowerOfTwoChoices { seed: 5 },
+        ] {
+            let mut fleet =
+                FleetEngine::new(FleetConfig::paper_fleet(SystemKind::LoongServe, 2, policy));
+            let a = fleet.run(&trace);
+            let b = fleet.run(&trace);
+            assert_eq!(a.assignments, b.assignments, "{policy:?}");
+            assert_eq!(a.records, b.records, "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replica_fleet_is_rejected() {
+        let config = FleetConfig {
+            replicas: 0,
+            ..FleetConfig::paper_fleet(SystemKind::LoongServe, 1, RouterPolicy::Passthrough)
+        };
+        let _ = FleetEngine::new(config);
+    }
+}

@@ -8,6 +8,9 @@
 //!
 //! * [`engine`] — the discrete-event serving engine that runs any
 //!   [`Scheduler`](loong_sched::types::Scheduler) over a workload trace,
+//! * [`fleet`] — the fleet tier: N independent replicas behind a
+//!   deterministic cluster router
+//!   ([`RouterPolicy`](loong_sched::router::RouterPolicy)),
 //! * [`systems`] — the systems under comparison (LoongServe, vLLM,
 //!   DeepSpeed-MII, LightLLM SplitFuse, DistServe, and the parallelism
 //!   ablations) with their paper configurations,
@@ -39,11 +42,13 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod fleet;
 pub mod report;
 pub mod systems;
 
 pub use engine::{EngineConfig, RunOutcome, ServingEngine};
 pub use experiment::{compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec};
+pub use fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
 pub use systems::{SystemKind, SystemUnderTest};
 
 /// Convenient glob-import of the most commonly used types across the whole
@@ -53,6 +58,7 @@ pub mod prelude {
     pub use crate::experiment::{
         compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec,
     };
+    pub use crate::fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
     pub use crate::report;
     pub use crate::systems::{SystemKind, SystemUnderTest};
     pub use loong_cluster::prelude::*;
@@ -61,7 +67,9 @@ pub mod prelude {
     pub use loong_metrics::prelude::*;
     pub use loong_model::prelude::*;
     pub use loong_sched::prelude::*;
-    pub use loong_simcore::ids::{BatchId, GpuId, GroupId, InstanceId, NodeId, RequestId};
+    pub use loong_simcore::ids::{
+        BatchId, GpuId, GroupId, InstanceId, NodeId, ReplicaId, RequestId,
+    };
     pub use loong_simcore::{SimDuration, SimRng, SimTime};
     pub use loong_workload::prelude::*;
 }

@@ -1,0 +1,167 @@
+//! Fleet-level metric aggregation.
+//!
+//! A fleet run produces one set of request records per replica. The
+//! fleet-level metrics the paper's deployment story cares about — aggregate
+//! latency distributions, SLO attainment, trace throughput — must be
+//! computed over the **merged** records (a per-replica mean of means would
+//! mis-weight unevenly loaded replicas), while capacity questions need the
+//! per-replica breakdown. [`FleetSummary`] carries both.
+
+use crate::record::RequestRecord;
+use crate::slo::SloSpec;
+use crate::summary::RunSummary;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics of one fleet run: the merged view plus a per-replica
+/// breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Metrics over the union of every replica's records. Makespan — and
+    /// therefore throughput — spans the whole fleet: earliest arrival to
+    /// latest completion across replicas.
+    pub fleet: RunSummary,
+    /// Metrics of each replica over its own records, in replica-id order.
+    pub per_replica: Vec<RunSummary>,
+}
+
+impl FleetSummary {
+    /// Builds a fleet summary from per-replica record sets (replica-id
+    /// order, borrowed — nothing is copied except into the one merged
+    /// aggregation). `system` and `workload` label the merged summary;
+    /// replica summaries get `workload · replica i/N`.
+    ///
+    /// `request_rate` is the rate offered to the whole fleet; each
+    /// replica's summary reports its share of it, weighted by the
+    /// replica's fraction of the merged completed records — under a skewed
+    /// routing policy an idle replica reports zero, not `rate / N`.
+    pub fn from_replica_records(
+        system: &str,
+        workload: &str,
+        request_rate: f64,
+        replica_records: &[&[RequestRecord]],
+        slo: &SloSpec,
+    ) -> Self {
+        let replicas = replica_records.len();
+        let merged: Vec<RequestRecord> = replica_records
+            .iter()
+            .flat_map(|records| records.iter().copied())
+            .collect();
+        let fleet = RunSummary::from_records(system, workload, request_rate, &merged, slo);
+        let total = merged.len();
+        let per_replica = replica_records
+            .iter()
+            .enumerate()
+            .map(|(i, records)| {
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    records.len() as f64 / total as f64
+                };
+                RunSummary::from_records(
+                    system,
+                    format!("{workload} · replica {i}/{replicas}"),
+                    request_rate * share,
+                    records,
+                    slo,
+                )
+            })
+            .collect();
+        FleetSummary { fleet, per_replica }
+    }
+
+    /// Number of replicas in the fleet.
+    pub fn replicas(&self) -> usize {
+        self.per_replica.len()
+    }
+
+    /// Completed-request imbalance across replicas: the ratio of the most
+    /// to the least loaded replica's completed count (1.0 = perfectly even;
+    /// infinity if some replica completed nothing while another did).
+    pub fn completion_imbalance(&self) -> f64 {
+        let max = self.per_replica.iter().map(|s| s.completed).max();
+        let min = self.per_replica.iter().map(|s| s.completed).min();
+        match (max, min) {
+            (Some(max), Some(min)) if max > 0 => max as f64 / (min as f64).max(f64::MIN_POSITIVE),
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loong_simcore::ids::RequestId;
+    use loong_simcore::time::SimTime;
+
+    fn record(id: u64, arrival: f64, finish: f64) -> RequestRecord {
+        RequestRecord {
+            id: RequestId(id),
+            arrival: SimTime::from_secs(arrival),
+            input_len: 100,
+            output_len: 10,
+            prefill_start: SimTime::from_secs(arrival + 0.1),
+            first_token: SimTime::from_secs(arrival + 0.5),
+            finish: SimTime::from_secs(finish),
+            preemptions: 0,
+        }
+    }
+
+    fn slo() -> SloSpec {
+        SloSpec {
+            per_token_s: 10.0,
+            input_s: 10.0,
+            output_s: 10.0,
+        }
+    }
+
+    #[test]
+    fn fleet_makespan_spans_all_replicas() {
+        let r0 = [record(0, 0.0, 2.0)];
+        let r1 = [record(1, 1.0, 9.0), record(2, 2.0, 4.0)];
+        let s = FleetSummary::from_replica_records("fleet", "w", 2.0, &[&r0, &r1], &slo());
+        assert_eq!(s.replicas(), 2);
+        assert_eq!(s.fleet.completed, 3);
+        // Earliest arrival 0.0 on replica 0, latest finish 9.0 on replica 1.
+        assert!((s.fleet.makespan_s - 9.0).abs() < 1e-9);
+        assert_eq!(s.per_replica[0].completed, 1);
+        assert_eq!(s.per_replica[1].completed, 2);
+        assert!((s.completion_imbalance() - 2.0).abs() < 1e-9);
+        assert!(s.per_replica[1].workload.contains("replica 1/2"));
+        // Per-replica offered rates are completed-weighted shares of the
+        // fleet rate, and they sum back to it.
+        assert!((s.per_replica[0].request_rate - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.per_replica[1].request_rate - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_replicas_do_not_poison_the_merge() {
+        let r0 = [record(0, 0.0, 2.0)];
+        let s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&r0, &[]], &slo());
+        assert_eq!(s.fleet.completed, 1);
+        assert_eq!(s.per_replica[1].completed, 0);
+        // A replica that served nothing reports zero offered rate, not a
+        // phantom 1/N share.
+        assert_eq!(s.per_replica[0].request_rate, 1.0);
+        assert_eq!(s.per_replica[1].request_rate, 0.0);
+        assert!(
+            s.completion_imbalance() > 1e9,
+            "max/0 is effectively infinite"
+        );
+    }
+
+    #[test]
+    fn uniform_fleet_has_unit_imbalance() {
+        let r0 = [record(0, 0.0, 2.0)];
+        let r1 = [record(1, 0.0, 2.0)];
+        let s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&r0, &r1], &slo());
+        assert_eq!(s.completion_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn all_empty_fleet_is_all_zero() {
+        let s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&[], &[]], &slo());
+        assert_eq!(s.fleet.completed, 0);
+        assert_eq!(s.per_replica[0].request_rate, 0.0);
+        assert_eq!(s.completion_imbalance(), 1.0);
+    }
+}

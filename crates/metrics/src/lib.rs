@@ -7,7 +7,9 @@
 //! * [`latency`] — means, percentiles and latency summaries,
 //! * [`slo`] — SLO specifications, attainment and (P90) goodput,
 //! * [`timeseries`] — binned event counters (e.g. scale-ups per 10 s),
-//! * [`summary`] — per-run summaries and markdown comparison tables.
+//! * [`summary`] — per-run summaries and markdown comparison tables,
+//! * [`fleet`] — fleet-level aggregation: merged metrics over every
+//!   replica's records plus the per-replica breakdown.
 //!
 //! # Examples
 //!
@@ -32,12 +34,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fleet;
 pub mod latency;
 pub mod record;
 pub mod slo;
 pub mod summary;
 pub mod timeseries;
 
+pub use fleet::FleetSummary;
 pub use latency::{mean, percentile, LatencySummary};
 pub use record::RequestRecord;
 pub use slo::{goodput, SloPoint, SloSpec};
@@ -46,6 +50,7 @@ pub use timeseries::BinnedCounter;
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
+    pub use crate::fleet::FleetSummary;
     pub use crate::latency::{mean, percentile, LatencySummary};
     pub use crate::record::RequestRecord;
     pub use crate::slo::{goodput, SloPoint, SloSpec};

@@ -10,7 +10,10 @@
 //!   generation; paper §5),
 //! * [`baselines`] — vLLM-style static tensor parallelism, chunked prefill
 //!   (DeepSpeed-MII / LightLLM SplitFuse), DistServe-style prefill–decode
-//!   disaggregation, static hybrid TP×SP, and replicated instances.
+//!   disaggregation, static hybrid TP×SP, and replicated instances,
+//! * [`router`] — the fleet tier's cluster router: deterministic policies
+//!   (round-robin, join-shortest-queue, least-KV-load,
+//!   power-of-two-choices) assigning arriving requests to replicas.
 //!
 //! # Examples
 //!
@@ -28,12 +31,14 @@
 
 pub mod baselines;
 pub mod manager;
+pub mod router;
 pub mod types;
 
 pub use baselines::{
     DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler, StaticHybridScheduler,
 };
 pub use manager::{LoongServeConfig, LoongServeScheduler};
+pub use router::{FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy};
 pub use types::{
     Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
     SchedulerView,
@@ -46,6 +51,7 @@ pub mod prelude {
         StaticHybridScheduler,
     };
     pub use crate::manager::{LoongServeConfig, LoongServeScheduler};
+    pub use crate::router::{FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy};
     pub use crate::types::{
         Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
         SchedulerView,

@@ -1,0 +1,293 @@
+//! The cluster router: assigning arriving requests to fleet replicas.
+//!
+//! LoongServe's elastic groups live inside one replica (one 8-GPU node with
+//! its own global manager and unified KV pool). Serving "heavy traffic from
+//! millions of users" needs a tier above that: a fleet of replicas behind a
+//! dispatcher that decides, per arriving request, which replica serves it —
+//! the same tier DistServe assumes above its prefill/decode pools. This
+//! module is that dispatcher's policy layer.
+//!
+//! A [`Router`] sees one [`RouteRequest`] at a time, in arrival order, plus
+//! the fleet's per-replica [`ReplicaLoad`] snapshot, and returns the
+//! [`ReplicaId`] to serve it. Load accounting is owned by the
+//! [`FleetLoadTracker`], which the fleet engine updates **incrementally** —
+//! O(1) per assignment — so routing never scans a replica's full request
+//! table, preserving the engine's O(active) invariant at fleet scope.
+//!
+//! Every shipped policy is deterministic: identically-seeded runs route
+//! identically, bit for bit. Ties are always broken by the lowest
+//! [`ReplicaId`] (loads are iterated in replica-id order with a
+//! strictly-less comparison), and the power-of-two-choices policy draws its
+//! probe pairs from a seeded [`SimRng`] substream.
+
+mod jsq;
+mod least_kv;
+mod p2c;
+mod passthrough;
+mod round_robin;
+
+pub use jsq::JoinShortestQueueRouter;
+pub use least_kv::LeastKvLoadRouter;
+pub use p2c::PowerOfTwoChoicesRouter;
+pub use passthrough::PassthroughRouter;
+pub use round_robin::RoundRobinRouter;
+
+use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the router may observe about an arriving request.
+///
+/// Mirrors what a real cluster frontend knows at admission time: the prompt
+/// length and the user-declared output bound — never the true output length,
+/// which the simulator knows but hides from all policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteRequest {
+    /// The request.
+    pub id: RequestId,
+    /// Arrival time at the fleet frontend.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub input_len: u64,
+    /// User-declared bound on the output length.
+    pub max_output_len: u64,
+}
+
+impl RouteRequest {
+    /// Worst-case tokens the request will queue behind it: prompt plus the
+    /// declared output bound (the router's analogue of queued work).
+    pub fn queued_tokens(&self) -> u64 {
+        self.input_len + self.max_output_len
+    }
+}
+
+/// Incrementally maintained load statistics of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaLoad {
+    /// The replica these statistics describe.
+    pub replica: ReplicaId,
+    /// Requests assigned to this replica so far.
+    pub assigned_requests: u64,
+    /// Sum of `input_len + max_output_len` over assigned requests — the
+    /// worst-case queued work, the join-shortest-queue criterion.
+    pub queued_tokens: u64,
+    /// Sum of `input_len` over assigned requests — the dominant KV-cache
+    /// footprint for long-context workloads, the least-KV-load criterion.
+    pub kv_tokens: u64,
+}
+
+impl ReplicaLoad {
+    fn new(replica: ReplicaId) -> Self {
+        ReplicaLoad {
+            replica,
+            assigned_requests: 0,
+            queued_tokens: 0,
+            kv_tokens: 0,
+        }
+    }
+}
+
+/// The fleet's per-replica load accounting.
+///
+/// Owned by the fleet engine, shown read-only to routers. Updates are O(1)
+/// per assignment: running sums only, never a scan of assigned requests.
+#[derive(Debug, Clone)]
+pub struct FleetLoadTracker {
+    loads: Vec<ReplicaLoad>,
+}
+
+impl FleetLoadTracker {
+    /// Creates a tracker for `replicas` idle replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0, "a fleet needs at least one replica");
+        FleetLoadTracker {
+            loads: (0..replicas)
+                .map(|r| ReplicaLoad::new(ReplicaId::from(r)))
+                .collect(),
+        }
+    }
+
+    /// The per-replica loads, in replica-id order.
+    pub fn loads(&self) -> &[ReplicaLoad] {
+        &self.loads
+    }
+
+    /// Number of replicas tracked.
+    pub fn replicas(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Accounts `request` as assigned to `replica`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is out of range.
+    pub fn on_assign(&mut self, replica: ReplicaId, request: &RouteRequest) {
+        let load = &mut self.loads[replica.index()];
+        load.assigned_requests += 1;
+        load.queued_tokens += request.queued_tokens();
+        load.kv_tokens += request.input_len;
+    }
+}
+
+/// The routing-policy interface.
+///
+/// Implementations must be deterministic: the same construction parameters
+/// and the same sequence of `route` calls must produce the same assignments.
+pub trait Router {
+    /// Human-readable name used in reports (e.g. "round-robin").
+    fn name(&self) -> String;
+
+    /// Chooses the replica to serve `request`. `loads` is the fleet's
+    /// current per-replica accounting, in replica-id order; the returned id
+    /// must index into it.
+    fn route(&mut self, request: &RouteRequest, loads: &[ReplicaLoad]) -> ReplicaId;
+}
+
+/// Selects the replica minimising `key`, breaking ties towards the lowest
+/// replica id (loads are in replica-id order and the comparison is strict).
+pub(crate) fn argmin_by_key(loads: &[ReplicaLoad], key: impl Fn(&ReplicaLoad) -> u64) -> ReplicaId {
+    assert!(!loads.is_empty(), "cannot route over an empty fleet");
+    let mut best = &loads[0];
+    let mut best_key = key(best);
+    for load in &loads[1..] {
+        let k = key(load);
+        if k < best_key {
+            best = load;
+            best_key = k;
+        }
+    }
+    best.replica
+}
+
+/// The deterministic routing policies shipped with the fleet tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Every request goes to replica 0. The single-replica identity policy:
+    /// a 1-replica fleet under `Passthrough` must be bit-for-bit identical
+    /// to a bare serving engine.
+    Passthrough,
+    /// Cycle through replicas in id order.
+    RoundRobin,
+    /// Join the replica with the fewest queued tokens
+    /// (`input_len + max_output_len` running sum).
+    JoinShortestQueue,
+    /// Join the replica with the smallest KV-cache footprint
+    /// (`input_len` running sum).
+    LeastKvLoad,
+    /// Probe two distinct replicas drawn from a seeded RNG and join the one
+    /// with fewer queued tokens.
+    PowerOfTwoChoices {
+        /// Seed of the probe-order RNG substream.
+        seed: u64,
+    },
+}
+
+impl RouterPolicy {
+    /// All four fleet routing policies compared in the fleet experiments
+    /// (passthrough is the single-replica identity, not a policy to sweep).
+    pub fn all_policies() -> Vec<RouterPolicy> {
+        vec![
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvLoad,
+            RouterPolicy::PowerOfTwoChoices { seed: 0x90f1ee7 },
+        ]
+    }
+
+    /// Builds the router implementing this policy.
+    pub fn build(&self) -> Box<dyn Router> {
+        match *self {
+            RouterPolicy::Passthrough => Box::new(PassthroughRouter::new()),
+            RouterPolicy::RoundRobin => Box::new(RoundRobinRouter::new()),
+            RouterPolicy::JoinShortestQueue => Box::new(JoinShortestQueueRouter::new()),
+            RouterPolicy::LeastKvLoad => Box::new(LeastKvLoadRouter::new()),
+            RouterPolicy::PowerOfTwoChoices { seed } => {
+                Box::new(PowerOfTwoChoicesRouter::new(seed))
+            }
+        }
+    }
+
+    /// The report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterPolicy::Passthrough => "passthrough",
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::JoinShortestQueue => "join-shortest-queue",
+            RouterPolicy::LeastKvLoad => "least-kv-load",
+            RouterPolicy::PowerOfTwoChoices { .. } => "power-of-two-choices",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(super) fn req(id: u64, input_len: u64, max_output_len: u64) -> RouteRequest {
+        RouteRequest {
+            id: RequestId(id),
+            arrival: SimTime::from_secs(id as f64),
+            input_len,
+            max_output_len,
+        }
+    }
+
+    #[test]
+    fn tracker_accumulates_o1_running_sums() {
+        let mut tracker = FleetLoadTracker::new(2);
+        tracker.on_assign(ReplicaId(0), &req(0, 100, 50));
+        tracker.on_assign(ReplicaId(1), &req(1, 10, 5));
+        tracker.on_assign(ReplicaId(0), &req(2, 1, 1));
+        let loads = tracker.loads();
+        assert_eq!(loads[0].assigned_requests, 2);
+        assert_eq!(loads[0].queued_tokens, 152);
+        assert_eq!(loads[0].kv_tokens, 101);
+        assert_eq!(loads[1].assigned_requests, 1);
+        assert_eq!(loads[1].queued_tokens, 15);
+        assert_eq!(loads[1].kv_tokens, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_fleet_is_rejected() {
+        let _ = FleetLoadTracker::new(0);
+    }
+
+    #[test]
+    fn argmin_breaks_ties_towards_lowest_replica() {
+        let mut tracker = FleetLoadTracker::new(3);
+        // All loads equal: the winner must be replica 0.
+        assert_eq!(
+            argmin_by_key(tracker.loads(), |l| l.queued_tokens),
+            ReplicaId(0)
+        );
+        // Make replica 0 heavier; 1 and 2 tie at zero -> replica 1 wins.
+        tracker.on_assign(ReplicaId(0), &req(0, 10, 10));
+        assert_eq!(
+            argmin_by_key(tracker.loads(), |l| l.queued_tokens),
+            ReplicaId(1)
+        );
+    }
+
+    #[test]
+    fn policy_factory_builds_matching_names() {
+        for policy in RouterPolicy::all_policies() {
+            let router = policy.build();
+            assert_eq!(router.name(), policy.label());
+        }
+        assert_eq!(RouterPolicy::Passthrough.build().name(), "passthrough");
+    }
+
+    #[test]
+    fn policies_serialise() {
+        let p = RouterPolicy::PowerOfTwoChoices { seed: 7 };
+        let json = serde_json::to_string(&p).expect("serialise");
+        let back: RouterPolicy = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(p, back);
+    }
+}

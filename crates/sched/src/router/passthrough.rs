@@ -1,0 +1,51 @@
+//! The single-replica identity router.
+
+use super::{ReplicaLoad, RouteRequest, Router};
+use loong_simcore::ids::ReplicaId;
+
+/// Routes every request to replica 0.
+///
+/// This is the identity of the fleet tier: a 1-replica fleet under
+/// passthrough must produce the bare serving engine's outcome bit for bit
+/// (pinned by `tests/fleet_equivalence.rs`). It also works over larger
+/// fleets — as the degenerate "no load balancing" baseline — but that is
+/// only useful for experiments about imbalance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassthroughRouter;
+
+impl PassthroughRouter {
+    /// Creates the passthrough router.
+    pub fn new() -> Self {
+        PassthroughRouter
+    }
+}
+
+impl Router for PassthroughRouter {
+    fn name(&self) -> String {
+        "passthrough".to_string()
+    }
+
+    fn route(&mut self, _request: &RouteRequest, loads: &[ReplicaLoad]) -> ReplicaId {
+        assert!(!loads.is_empty(), "cannot route over an empty fleet");
+        ReplicaId(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::req;
+    use super::*;
+    use crate::router::FleetLoadTracker;
+
+    #[test]
+    fn everything_lands_on_replica_zero() {
+        let mut router = PassthroughRouter::new();
+        let tracker = FleetLoadTracker::new(3);
+        for i in 0..10 {
+            assert_eq!(
+                router.route(&req(i, 100, 10), tracker.loads()),
+                ReplicaId(0)
+            );
+        }
+    }
+}

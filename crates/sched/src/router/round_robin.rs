@@ -1,0 +1,52 @@
+//! Round-robin routing.
+
+use super::{ReplicaLoad, RouteRequest, Router};
+use loong_simcore::ids::ReplicaId;
+
+/// Cycles through replicas in id order: request *k* goes to replica
+/// *k mod N*.
+///
+/// Oblivious to load, but on homogeneous replicas with exchangeable
+/// requests it is the strongest simple baseline — and it is trivially
+/// deterministic, needing neither seed nor tie-breaking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinRouter {
+    next: u64,
+}
+
+impl RoundRobinRouter {
+    /// Creates a round-robin router starting at replica 0.
+    pub fn new() -> Self {
+        RoundRobinRouter { next: 0 }
+    }
+}
+
+impl Router for RoundRobinRouter {
+    fn name(&self) -> String {
+        "round-robin".to_string()
+    }
+
+    fn route(&mut self, _request: &RouteRequest, loads: &[ReplicaLoad]) -> ReplicaId {
+        assert!(!loads.is_empty(), "cannot route over an empty fleet");
+        let choice = ReplicaId(self.next % loads.len() as u64);
+        self.next += 1;
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::req;
+    use super::*;
+    use crate::router::FleetLoadTracker;
+
+    #[test]
+    fn cycles_in_replica_id_order() {
+        let mut router = RoundRobinRouter::new();
+        let tracker = FleetLoadTracker::new(3);
+        let picks: Vec<u64> = (0..7)
+            .map(|i| router.route(&req(i, 10, 10), tracker.loads()).raw())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+}

@@ -103,6 +103,13 @@ define_id!(
     "batch"
 );
 
+define_id!(
+    /// Identifier of a serving replica in a fleet (one full serving engine
+    /// with its own cluster node, KV pool and scheduler).
+    ReplicaId,
+    "replica"
+);
+
 /// A monotonically increasing identifier allocator.
 ///
 /// # Examples

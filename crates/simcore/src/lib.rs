@@ -50,7 +50,7 @@ pub mod time;
 
 pub use distributions::{Empirical, Exponential, LogNormal, LogUniform, Zipf};
 pub use events::{Event, EventQueue};
-pub use ids::{BatchId, GpuId, GroupId, IdAllocator, InstanceId, NodeId, RequestId};
+pub use ids::{BatchId, GpuId, GroupId, IdAllocator, InstanceId, NodeId, ReplicaId, RequestId};
 pub use rng::SimRng;
 pub use table::{PhaseClass, RequestTable};
 pub use time::{SimDuration, SimTime};

@@ -109,6 +109,44 @@ impl Trace {
         }
     }
 
+    /// Splits the trace into one sub-trace per replica according to a
+    /// per-request assignment (the output of a fleet router).
+    ///
+    /// `assignment[i]` is the replica serving `self.requests[i]`. Each
+    /// sub-trace keeps its requests in the original arrival order with
+    /// their original ids, so replaying sub-trace *r* on replica *r*
+    /// serves exactly the requests routed there — splitting never drops,
+    /// duplicates or reorders a request. Empty sub-traces are produced for
+    /// replicas that received nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not have one entry per request or names
+    /// a replica `>= replicas`.
+    pub fn split_by_assignment(&self, replicas: usize, assignment: &[usize]) -> Vec<Trace> {
+        assert!(replicas > 0, "a fleet needs at least one replica");
+        assert_eq!(
+            assignment.len(),
+            self.requests.len(),
+            "assignment must cover every request exactly once"
+        );
+        let mut subs: Vec<Trace> = (0..replicas)
+            .map(|r| Trace {
+                label: format!("{} · replica {r}/{replicas}", self.label),
+                requests: Vec::new(),
+            })
+            .collect();
+        for (req, &replica) in self.requests.iter().zip(assignment) {
+            assert!(
+                replica < replicas,
+                "request {} routed to replica {replica}, but the fleet has {replicas}",
+                req.id
+            );
+            subs[replica].requests.push(req.clone());
+        }
+        subs
+    }
+
     /// Number of requests in the trace.
     pub fn len(&self) -> usize {
         self.requests.len()
@@ -241,6 +279,77 @@ mod tests {
         let r2 = Request::new(RequestId(1), SimTime::from_secs(1.0), 10, 5);
         let trace = Trace::from_requests("manual", vec![r1, r2]);
         assert_eq!(trace.requests[0].id, RequestId(1));
+    }
+
+    #[test]
+    fn split_preserves_order_ids_and_conservation() {
+        let mut rng = SimRng::seed(11);
+        let trace = Trace::generate(
+            DatasetKind::ShareGpt,
+            ArrivalProcess::Poisson { rate: 2.0 },
+            30,
+            &mut rng,
+        );
+        let assignment: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let subs = trace.split_by_assignment(3, &assignment);
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs.iter().map(Trace::len).sum::<usize>(), trace.len());
+        let mut seen: Vec<RequestId> = Vec::new();
+        for sub in &subs {
+            assert!(sub
+                .requests
+                .windows(2)
+                .all(|w| w[0].arrival <= w[1].arrival));
+            seen.extend(sub.requests.iter().map(|r| r.id));
+        }
+        seen.sort();
+        let mut expected: Vec<RequestId> = trace.requests.iter().map(|r| r.id).collect();
+        expected.sort();
+        assert_eq!(seen, expected, "every request lands in exactly one split");
+    }
+
+    #[test]
+    fn split_to_one_replica_is_the_identity_on_requests() {
+        let mut rng = SimRng::seed(12);
+        let trace = Trace::generate(
+            DatasetKind::Mixed,
+            ArrivalProcess::Poisson { rate: 1.0 },
+            10,
+            &mut rng,
+        );
+        let subs = trace.split_by_assignment(1, &[0; 10]);
+        assert_eq!(subs[0].requests, trace.requests);
+    }
+
+    #[test]
+    fn split_leaves_unrouted_replicas_empty() {
+        let trace = Trace::from_requests(
+            "tiny",
+            vec![Request::new(RequestId(0), SimTime::ZERO, 10, 5)],
+        );
+        let subs = trace.split_by_assignment(4, &[2]);
+        assert!(subs[0].is_empty() && subs[1].is_empty() && subs[3].is_empty());
+        assert_eq!(subs[2].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every request")]
+    fn split_rejects_short_assignment() {
+        let trace = Trace::from_requests(
+            "tiny",
+            vec![Request::new(RequestId(0), SimTime::ZERO, 10, 5)],
+        );
+        let _ = trace.split_by_assignment(2, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed to replica")]
+    fn split_rejects_out_of_range_replica() {
+        let trace = Trace::from_requests(
+            "tiny",
+            vec![Request::new(RequestId(0), SimTime::ZERO, 10, 5)],
+        );
+        let _ = trace.split_by_assignment(2, &[2]);
     }
 
     #[test]

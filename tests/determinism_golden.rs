@@ -15,62 +15,9 @@
 
 use loongserve::prelude::*;
 
-/// FNV-1a over a stream of u64 words.
-struct Digest(u64);
-
-impl Digest {
-    fn new() -> Self {
-        Digest(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn word(&mut self, v: u64) {
-        self.0 ^= v;
-        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-
-    fn time(&mut self, t: SimTime) {
-        self.word(t.as_secs().to_bits());
-    }
-
-    fn str(&mut self, s: &str) {
-        self.word(s.len() as u64);
-        for b in s.bytes() {
-            self.word(b as u64);
-        }
-    }
-}
-
-/// A bit-for-bit digest of everything in a [`RunOutcome`].
-fn outcome_digest(outcome: &RunOutcome) -> u64 {
-    let mut d = Digest::new();
-    d.word(outcome.records.len() as u64);
-    for r in &outcome.records {
-        d.word(r.id.raw());
-        d.time(r.arrival);
-        d.word(r.input_len);
-        d.word(r.output_len);
-        d.time(r.prefill_start);
-        d.time(r.first_token);
-        d.time(r.finish);
-        d.word(r.preemptions as u64);
-    }
-    d.word(outcome.rejected.len() as u64);
-    for (id, reason) in &outcome.rejected {
-        d.word(id.raw());
-        d.str(reason);
-    }
-    d.word(outcome.unfinished as u64);
-    d.word(outcome.scaling_events.len() as u64);
-    for e in &outcome.scaling_events {
-        d.time(e.at);
-        d.word(e.delta_instances as u64);
-    }
-    d.time(outcome.sim_time);
-    d.word(outcome.iterations);
-    d.word(outcome.migration_bytes.to_bits());
-    d.word(outcome.scheduler_calls);
-    d.0
-}
+#[path = "golden_util.rs"]
+mod golden_util;
+use golden_util::outcome_digest;
 
 fn run_digest(kind: SystemKind, dataset: DatasetKind, rate: f64, count: usize, seed: u64) -> u64 {
     let trace = WorkloadSpec::Dataset(dataset).generate(rate, count, seed);

@@ -1,0 +1,83 @@
+//! Shared digest machinery for the golden determinism suites.
+//!
+//! Both `tests/determinism_golden.rs` (single engine) and
+//! `tests/fleet_equivalence.rs` (fleet tier) pin 64-bit digests of complete
+//! outcomes. The field walk lives here, once: when `RunOutcome` grows a
+//! field, extending [`outcome_digest`] updates **every** golden suite at
+//! the same time, so no suite can silently keep pinning the old shape.
+//!
+//! Included into each test binary via `#[path = "golden_util.rs"]`; the
+//! pinned constants stay in the suites themselves. Each suite uses a
+//! different subset of the helpers, so unused-item lints are silenced
+//! per-binary here.
+#![allow(dead_code)]
+
+use loongserve::prelude::*;
+
+/// FNV-1a over a stream of u64 words.
+pub struct Digest(pub u64);
+
+impl Digest {
+    pub fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn word(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub fn time(&mut self, t: SimTime) {
+        self.word(t.as_secs().to_bits());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        for b in s.bytes() {
+            self.word(b as u64);
+        }
+    }
+
+    /// Folds every field of a [`RunOutcome`] into the digest.
+    pub fn outcome(&mut self, outcome: &RunOutcome) {
+        self.word(outcome.records.len() as u64);
+        for r in &outcome.records {
+            self.word(r.id.raw());
+            self.time(r.arrival);
+            self.word(r.input_len);
+            self.word(r.output_len);
+            self.time(r.prefill_start);
+            self.time(r.first_token);
+            self.time(r.finish);
+            self.word(r.preemptions as u64);
+        }
+        self.word(outcome.rejected.len() as u64);
+        for (id, reason) in &outcome.rejected {
+            self.word(id.raw());
+            self.str(reason);
+        }
+        self.word(outcome.unfinished as u64);
+        self.word(outcome.scaling_events.len() as u64);
+        for e in &outcome.scaling_events {
+            self.time(e.at);
+            self.word(e.delta_instances as u64);
+        }
+        self.time(outcome.sim_time);
+        self.word(outcome.iterations);
+        self.word(outcome.migration_bytes.to_bits());
+        self.word(outcome.scheduler_calls);
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bit-for-bit digest of everything in a [`RunOutcome`].
+pub fn outcome_digest(outcome: &RunOutcome) -> u64 {
+    let mut d = Digest::new();
+    d.outcome(outcome);
+    d.0
+}
