@@ -37,6 +37,15 @@ fleet_out=$(cargo bench --bench fleet_scaling -- --smoke)
 printf '%s\n' "$fleet_out"
 printf '%s\n' "$fleet_out" | grep -q "^FLEET_SCALING replicas=2"
 
+step "kv-pressure smoke (120-request MMPP overload, both victim policies)"
+# Fails if either policy stops printing its summary line or leaves requests
+# unfinished (the no-deadlock/livelock property). Reference numbers live in
+# BENCH_pressure.json.
+pressure_out=$(cargo bench --bench kv_pressure -- --smoke)
+printf '%s\n' "$pressure_out"
+printf '%s\n' "$pressure_out" | grep -q "^KV_PRESSURE policy=recompute .*unfinished=0"
+printf '%s\n' "$pressure_out" | grep -q "^KV_PRESSURE policy=swap .*unfinished=0"
+
 step "cargo build --examples"
 cargo build --examples
 

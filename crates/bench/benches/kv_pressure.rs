@@ -1,0 +1,162 @@
+//! KV memory-pressure benchmark: recompute vs swap under overload.
+//!
+//! Drives a KV-starved single node (a few percent of the real slot budget)
+//! through a bursty MMPP ShareGPT overload under both victim policies —
+//! the vLLM-style baseline with preempt-and-recompute and the LoongServe
+//! manager with the host-DRAM swap tier — and reports completion, pressure
+//! activity (preemptions, swap traffic, stall time) and trace throughput.
+//! The run also measures the simulator's own overhead on pressure-heavy
+//! traces: eviction storms must not blow up the O(active) engine loop.
+//!
+//! Invocation (harness = false):
+//!
+//! ```text
+//! cargo bench --bench kv_pressure              # 480-request trace
+//! cargo bench --bench kv_pressure -- --smoke   # 120-request trace
+//! ```
+//!
+//! Reference numbers for the current tree are checked in as
+//! `BENCH_pressure.json` at the repository root.
+
+use loong_bench::{banner, write_figure_csv};
+use loongserve::prelude::*;
+use std::time::Instant;
+
+/// Total KV slots across the node (split across each system's instances).
+const CAPACITY: u64 = 6_000;
+const COUNT: usize = 480;
+const SMOKE_COUNT: usize = 120;
+const SEED: u64 = 2026;
+
+fn arrivals() -> ArrivalProcess {
+    ArrivalProcess::MarkovModulated {
+        rate_high: 40.0,
+        rate_low: 2.0,
+        mean_high_secs: 3.0,
+        mean_low_secs: 3.0,
+    }
+}
+
+struct Sample {
+    policy: &'static str,
+    wall_s: f64,
+    makespan_s: f64,
+    completed: usize,
+    unfinished: usize,
+    throughput_rps: f64,
+    preemptions: u64,
+    swap_events: u64,
+    swap_gb: f64,
+    stall_s: f64,
+}
+
+fn run_policy(policy: &'static str, kind: SystemKind, mode: PressureMode, count: usize) -> Sample {
+    let mut rng = SimRng::seed(SEED);
+    let trace = Trace::generate(DatasetKind::ShareGpt, arrivals(), count, &mut rng);
+    let instances = (8 / kind.tp(8)).max(1) as u64;
+    let system = SystemUnderTest::paper_single_node(kind)
+        .with_pressure(mode)
+        .with_kv_capacity(CAPACITY / instances);
+    let mut engine = system.build_engine(Some(&trace));
+    let start = Instant::now();
+    let outcome = engine.run(&trace);
+    let wall_s = start.elapsed().as_secs_f64();
+    let summary = RunSummary::from_records(
+        policy,
+        "ShareGPT burst",
+        arrivals().mean_rate(),
+        &outcome.records,
+        &SloSpec::default_for_lwm(),
+    );
+    Sample {
+        policy,
+        wall_s,
+        makespan_s: summary.makespan_s,
+        completed: summary.completed,
+        unfinished: outcome.unfinished,
+        throughput_rps: summary.throughput_rps,
+        preemptions: outcome.pressure.preemptions,
+        swap_events: outcome.pressure.swap_out_events + outcome.pressure.swap_in_events,
+        swap_gb: outcome.pressure.swap_bytes_total() / 1e9,
+        stall_s: outcome.pressure.swap_stall_s,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let count = if smoke { SMOKE_COUNT } else { COUNT };
+
+    banner(&format!(
+        "KV memory pressure — bursty MMPP ShareGPT overload, {count} requests, \
+         {CAPACITY} total KV slots{}",
+        if smoke { " (smoke)" } else { "" }
+    ));
+
+    let samples = [
+        run_policy(
+            "recompute",
+            SystemKind::Vllm,
+            PressureMode::Recompute,
+            count,
+        ),
+        run_policy(
+            "swap",
+            SystemKind::LoongServe,
+            PressureMode::SwapToHost,
+            count,
+        ),
+    ];
+
+    let mut csv = String::from(
+        "policy,wall_s,makespan_s,completed,unfinished,throughput_rps,preemptions,swap_events,swap_gb,stall_s\n",
+    );
+    println!(
+        "{:>10} {:>8} {:>11} {:>10} {:>11} {:>15} {:>11} {:>11} {:>8} {:>8}",
+        "policy",
+        "wall_s",
+        "makespan_s",
+        "completed",
+        "unfinished",
+        "throughput_rps",
+        "preemptions",
+        "swap_events",
+        "swap_gb",
+        "stall_s"
+    );
+    for s in &samples {
+        println!(
+            "{:>10} {:>8.3} {:>11.1} {:>10} {:>11} {:>15.2} {:>11} {:>11} {:>8.2} {:>8.3}",
+            s.policy,
+            s.wall_s,
+            s.makespan_s,
+            s.completed,
+            s.unfinished,
+            s.throughput_rps,
+            s.preemptions,
+            s.swap_events,
+            s.swap_gb,
+            s.stall_s
+        );
+        // The line CI greps for in the pressure smoke step.
+        println!(
+            "KV_PRESSURE policy={} completed={} unfinished={} preemptions={} swap_events={} trace_throughput_rps={:.2}",
+            s.policy, s.completed, s.unfinished, s.preemptions, s.swap_events, s.throughput_rps
+        );
+        csv.push_str(&format!(
+            "{},{:.6},{:.3},{},{},{:.3},{},{},{:.4},{:.4}\n",
+            s.policy,
+            s.wall_s,
+            s.makespan_s,
+            s.completed,
+            s.unfinished,
+            s.throughput_rps,
+            s.preemptions,
+            s.swap_events,
+            s.swap_gb,
+            s.stall_s
+        ));
+    }
+
+    let path = write_figure_csv("kv_pressure.csv", &csv);
+    println!("\nCSV written to {}", path.display());
+}

@@ -68,6 +68,7 @@ fn view(f: &Fixture) -> SchedulerView<'_> {
         now: SimTime::ZERO,
         pending: &f.pending,
         decoding: &[],
+        swapped: &[],
         idle_instances: &f.idle,
         busy_instances: &[],
         pool: &f.pool,

@@ -177,6 +177,13 @@ impl LinkSpec {
         LinkSpec::new(12.5 * GB, 10e-6)
     }
 
+    /// The device↔host path of one GPU: PCIe 4.0 x16 (31.5 GB/s raw,
+    /// ~25 GB/s sustained for large DMA transfers, ~10 us launch latency).
+    /// KV swap traffic between HBM and host DRAM is costed over this link.
+    pub fn pcie_gen4_x16() -> Self {
+        LinkSpec::new(25.0 * GB, 10e-6)
+    }
+
     /// Transfer time for a message of `bytes` bytes.
     pub fn transfer_time(&self, bytes: f64) -> f64 {
         assert!(bytes >= 0.0, "message size must be non-negative");
@@ -235,6 +242,19 @@ mod tests {
         let t = link.transfer_time(100.0 * GB);
         assert!((t - 1.000005).abs() < 1e-9);
         assert_eq!(link.transfer_time(0.0), 0.0);
+    }
+
+    #[test]
+    fn pcie_sits_between_nvlink_and_ib() {
+        // D2H swap bandwidth: slower than intra-node NVLink, faster than the
+        // per-pair share of the inter-node fabric.
+        let pcie = LinkSpec::pcie_gen4_x16();
+        assert!(pcie.bandwidth < LinkSpec::nvlink_a800().bandwidth);
+        assert!(pcie.bandwidth > LinkSpec::infiniband_4x200g().bandwidth);
+        // Swapping a 1M-token LWM KV cache (~488 GB) over PCIe takes tens of
+        // seconds — the reason swap is a last resort, not a free lunch.
+        let t = pcie.transfer_time(488.0 * GB);
+        assert!(t > 10.0, "expected tens of seconds, got {t}");
     }
 
     #[test]

@@ -35,13 +35,13 @@ pub mod topology;
 
 pub use comm::{CommModel, CommVolume};
 pub use gpu::{GpuSpec, LinkSpec, GB, GIB};
-pub use memory::MemoryBudget;
+pub use memory::{HostMemoryBudget, MemoryBudget};
 pub use topology::ClusterSpec;
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::comm::{CommModel, CommVolume};
     pub use crate::gpu::{GpuSpec, LinkSpec, GB, GIB};
-    pub use crate::memory::MemoryBudget;
+    pub use crate::memory::{HostMemoryBudget, MemoryBudget};
     pub use crate::topology::ClusterSpec;
 }

@@ -106,6 +106,75 @@ impl MemoryBudget {
     }
 }
 
+/// Host-DRAM budget of one node, sizing the swap tier that evicted KV cache
+/// spills into.
+///
+/// Production inference servers pair each 8-GPU node with 1–2 TB of DRAM;
+/// only part of it is available for KV swap (the rest holds the OS, weights
+/// staged for loading, and pinned transfer buffers). The budget mirrors
+/// [`MemoryBudget`]: total bytes, a reserved fraction, and the per-token KV
+/// footprint, yielding a whole-token host slot capacity.
+///
+/// # Examples
+///
+/// ```
+/// use loong_cluster::memory::HostMemoryBudget;
+///
+/// // 1 TiB of DRAM, half reserved, 512 KiB of KV per token.
+/// let budget = HostMemoryBudget::new(1024.0 * 1024.0 * 1024.0 * 1024.0, 0.5, 524_288.0);
+/// assert_eq!(budget.kv_slot_capacity(), 1_048_576);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostMemoryBudget {
+    /// Total host DRAM in bytes.
+    pub total_bytes: f64,
+    /// Fraction of DRAM *not* available to the KV swap tier.
+    pub reserved_fraction: f64,
+    /// Bytes of key-value cache stored per token (whole-model footprint:
+    /// a swapped token leaves every GPU shard).
+    pub kv_bytes_per_token: f64,
+}
+
+impl HostMemoryBudget {
+    /// Creates a host budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes` is not positive/finite, `reserved_fraction`
+    /// is outside `[0, 1)`, or `kv_bytes_per_token` is not positive.
+    pub fn new(total_bytes: f64, reserved_fraction: f64, kv_bytes_per_token: f64) -> Self {
+        assert!(
+            total_bytes > 0.0 && total_bytes.is_finite(),
+            "host memory must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&reserved_fraction),
+            "reserved fraction must be in [0, 1), got {reserved_fraction}"
+        );
+        assert!(
+            kv_bytes_per_token > 0.0,
+            "kv bytes per token must be positive"
+        );
+        HostMemoryBudget {
+            total_bytes,
+            reserved_fraction,
+            kv_bytes_per_token,
+        }
+    }
+
+    /// Bytes available to the host KV swap pool.
+    pub fn kv_pool_bytes(&self) -> f64 {
+        self.total_bytes * (1.0 - self.reserved_fraction)
+    }
+
+    /// Number of whole token slots the host swap pool can hold.
+    pub fn kv_slot_capacity(&self) -> u64 {
+        (self.kv_pool_bytes() / self.kv_bytes_per_token)
+            .floor()
+            .max(0.0) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +209,22 @@ mod tests {
     fn kv_bytes_scale_linearly() {
         let b = example_budget();
         assert_eq!(b.kv_bytes_for(2), 2.0 * b.kv_bytes_per_token);
+    }
+
+    #[test]
+    fn host_budget_holds_far_more_tokens_than_hbm() {
+        // 1 TiB of DRAM against 80 GiB of HBM: even with half the DRAM
+        // reserved, the swap tier holds several device pools' worth of KV.
+        let device = example_budget();
+        let host = HostMemoryBudget::new(1024.0 * GIB, 0.5, device.kv_bytes_per_token);
+        assert!(host.kv_slot_capacity() > 4 * device.kv_slot_capacity());
+        assert!((host.kv_pool_bytes() - 512.0 * GIB).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved fraction")]
+    fn host_budget_rejects_full_reservation() {
+        let _ = HostMemoryBudget::new(1024.0 * GIB, 1.0, 1.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! this shape and answers "what link connects GPU *a* to GPU *b*?", which
 //! the communication cost models in [`crate::comm`] build on.
 
-use crate::gpu::{GpuSpec, LinkSpec};
+use crate::gpu::{GpuSpec, LinkSpec, GIB};
 use loong_simcore::ids::{GpuId, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -33,9 +33,17 @@ pub struct ClusterSpec {
     pub intra_node_link: LinkSpec,
     /// Link between two GPUs on different nodes.
     pub inter_node_link: LinkSpec,
+    /// Host DRAM per node in bytes, backing the KV swap tier.
+    pub host_memory_bytes: f64,
+    /// Device↔host link (PCIe) over which KV swap traffic is costed.
+    pub host_link: LinkSpec,
 }
 
 impl ClusterSpec {
+    /// Default host DRAM per node: 1 TiB, the typical fit-out of an 8-GPU
+    /// A800 server.
+    pub const DEFAULT_HOST_MEMORY_BYTES: f64 = 1024.0 * GIB;
+
     /// A single node with `gpus` A800 GPUs connected by NVLink — the primary
     /// testbed of the paper (Figures 10, 12–15 use `gpus = 8`).
     pub fn single_node_a800(gpus: usize) -> Self {
@@ -45,6 +53,8 @@ impl ClusterSpec {
             gpu: GpuSpec::a800_80gb(),
             intra_node_link: LinkSpec::nvlink_a800(),
             inter_node_link: LinkSpec::infiniband_4x200g(),
+            host_memory_bytes: Self::DEFAULT_HOST_MEMORY_BYTES,
+            host_link: LinkSpec::pcie_gen4_x16(),
         }
     }
 
@@ -57,6 +67,8 @@ impl ClusterSpec {
             gpu: GpuSpec::a800_80gb(),
             intra_node_link: LinkSpec::nvlink_a800(),
             inter_node_link: LinkSpec::infiniband_4x200g(),
+            host_memory_bytes: Self::DEFAULT_HOST_MEMORY_BYTES,
+            host_link: LinkSpec::pcie_gen4_x16(),
         }
     }
 
@@ -83,11 +95,29 @@ impl ClusterSpec {
             gpu,
             intra_node_link,
             inter_node_link,
+            host_memory_bytes: Self::DEFAULT_HOST_MEMORY_BYTES,
+            host_link: LinkSpec::pcie_gen4_x16(),
         };
         if let Err(err) = spec.validate() {
             panic!("invalid custom cluster: {err}");
         }
         spec
+    }
+
+    /// Replaces the host-tier parameters (per-node DRAM and the device↔host
+    /// link), validating the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting spec fails validation (non-positive host
+    /// memory).
+    pub fn with_host(mut self, host_memory_bytes: f64, host_link: LinkSpec) -> Self {
+        self.host_memory_bytes = host_memory_bytes;
+        self.host_link = host_link;
+        if let Err(err) = self.validate() {
+            panic!("invalid host tier: {err}");
+        }
+        self
     }
 
     /// Total number of GPUs in the cluster.
@@ -174,6 +204,9 @@ impl ClusterSpec {
         if self.gpus_per_node == 0 {
             return Err("nodes must have at least one GPU".to_string());
         }
+        if !(self.host_memory_bytes > 0.0 && self.host_memory_bytes.is_finite()) {
+            return Err("host_memory_bytes must be positive".to_string());
+        }
         self.gpu.validate()
     }
 }
@@ -246,6 +279,25 @@ mod tests {
         let mut c = ClusterSpec::single_node_a800(8);
         c.nodes = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn host_tier_defaults_and_overrides() {
+        let c = ClusterSpec::single_node_a800(8);
+        assert_eq!(c.host_memory_bytes, ClusterSpec::DEFAULT_HOST_MEMORY_BYTES);
+        assert_eq!(c.host_link, LinkSpec::pcie_gen4_x16());
+        let big = c.clone().with_host(
+            2.0 * ClusterSpec::DEFAULT_HOST_MEMORY_BYTES,
+            LinkSpec::new(50e9, 5e-6),
+        );
+        assert!(big.validate().is_ok());
+        assert_eq!(big.host_link.bandwidth, 50e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "host_memory_bytes")]
+    fn with_host_rejects_non_positive_memory() {
+        let _ = ClusterSpec::single_node_a800(8).with_host(0.0, LinkSpec::pcie_gen4_x16());
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! The same engine runs LoongServe and every baseline; only the scheduler
 //! and the tensor-parallel degree of the elastic instances differ.
 
-use loong_cluster::memory::MemoryBudget;
+use loong_cluster::gpu::LinkSpec;
+use loong_cluster::memory::{HostMemoryBudget, MemoryBudget};
 use loong_cluster::topology::ClusterSpec;
 use loong_esp::decode::{execute_decode, DecodePlan};
 use loong_esp::group::EspGroup;
@@ -20,12 +21,13 @@ use loong_esp::prefill::{execute_prefill, PrefillPlan, PrefillRequest};
 use loong_esp::scaling::migrate_request;
 use loong_kvcache::placement::PlacementStrategy;
 use loong_kvcache::unified::UnifiedKvPool;
+use loong_metrics::pressure::PressureStats;
 use loong_metrics::record::RequestRecord;
 use loong_model::config::ModelConfig;
 use loong_model::roofline::{CostModel, ParallelConfig};
 use loong_model::sib::ScalingInfoBase;
 use loong_sched::types::{
-    Action, DecodingRequest, PendingRequest, ScalingEvent, Scheduler, ViewScratch,
+    Action, DecodingRequest, PendingRequest, ScalingEvent, Scheduler, SwappedRequest, ViewScratch,
 };
 use loong_simcore::events::{Event, EventQueue};
 use loong_simcore::ids::{GroupId, IdAllocator, InstanceId, RequestId};
@@ -54,6 +56,52 @@ pub struct EngineConfig {
     /// Hard cap on simulated time; requests still in flight when it is
     /// reached are dropped from the records. `None` means no cap.
     pub max_sim_time: Option<SimDuration>,
+    /// The host-DRAM KV swap tier. `None` (the default) disables it: no
+    /// host pool exists and swap actions are rejected, keeping every run
+    /// bit-for-bit on the pre-subsystem path.
+    pub host_swap: Option<HostSwapConfig>,
+    /// Per-instance KV slot capacity override for overload experiments;
+    /// `None` computes the capacity from the memory budget as always.
+    pub kv_capacity_override: Option<u64>,
+}
+
+/// Configuration of the host-DRAM KV swap tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSwapConfig {
+    /// Host pool capacity in KV token slots (cluster-wide).
+    pub capacity_tokens: u64,
+    /// The device↔host link swap transfers are costed on (PCIe).
+    pub link: LinkSpec,
+}
+
+impl HostSwapConfig {
+    /// Sizes the tier from the cluster's per-node DRAM: total host memory
+    /// across nodes, minus the reserved fraction, divided by the model's
+    /// whole-footprint KV bytes per token.
+    pub fn from_cluster(
+        cluster: &ClusterSpec,
+        model: &ModelConfig,
+        reserved_fraction: f64,
+    ) -> Self {
+        let budget = HostMemoryBudget::new(
+            cluster.host_memory_bytes * cluster.nodes as f64,
+            reserved_fraction,
+            model.kv_bytes_per_token(),
+        );
+        HostSwapConfig {
+            capacity_tokens: budget.kv_slot_capacity(),
+            link: cluster.host_link,
+        }
+    }
+
+    /// An explicitly sized tier over the cluster's host link (small hosts
+    /// for fallback tests, huge ones for stress scenarios).
+    pub fn with_tokens(cluster: &ClusterSpec, capacity_tokens: u64) -> Self {
+        HostSwapConfig {
+            capacity_tokens,
+            link: cluster.host_link,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -68,6 +116,8 @@ impl EngineConfig {
             sib_noise: 0.01,
             seed: 0x1005e,
             max_sim_time: None,
+            host_swap: None,
+            kv_capacity_override: None,
         }
     }
 
@@ -97,6 +147,12 @@ enum Phase {
     Decoding { generated: u64 },
     /// KV is being migrated between instances.
     Migrating { generated: u64 },
+    /// KV is being copied to the host swap tier (D2H transfer in flight).
+    SwappingOut { generated: u64 },
+    /// Fully parked on the host swap tier, waiting for pressure to clear.
+    Swapped { generated: u64 },
+    /// KV is being restored from the host swap tier (H2D in flight).
+    SwappingIn { generated: u64 },
     /// All output tokens produced.
     Finished,
     /// Rejected by the scheduler.
@@ -109,9 +165,12 @@ impl Phase {
         match self {
             Phase::Pending { .. } => PhaseClass::Pending,
             Phase::DecodeReady { .. } => PhaseClass::DecodeReady,
-            Phase::Prefilling | Phase::Decoding { .. } | Phase::Migrating { .. } => {
-                PhaseClass::InFlight
-            }
+            Phase::Prefilling
+            | Phase::Decoding { .. }
+            | Phase::Migrating { .. }
+            | Phase::SwappingOut { .. }
+            | Phase::SwappingIn { .. } => PhaseClass::InFlight,
+            Phase::Swapped { .. } => PhaseClass::Swapped,
             Phase::Finished | Phase::Rejected => PhaseClass::Done,
         }
     }
@@ -125,6 +184,29 @@ struct RequestState {
     first_token: Option<SimTime>,
     finish: Option<SimTime>,
     preemptions: u32,
+    /// Decode checkpoint of a preempt-and-recompute eviction: output tokens
+    /// generated before the KV was discarded. The next prefill recomputes
+    /// the KV of prompt *and* checkpointed tokens (vLLM's recompute
+    /// semantics) and decoding resumes here rather than restarting — zero
+    /// for never-preempted requests.
+    resume_generated: u64,
+}
+
+impl RequestState {
+    /// The prompt the next prefill must process: the original input plus
+    /// any checkpointed output tokens whose KV a preemption discarded.
+    fn effective_input(&self) -> u64 {
+        self.request.input_len + self.resume_generated
+    }
+
+    /// The declared output bound still ahead of the checkpoint; shrinks
+    /// after a preemption so `effective_input + remaining_max_output` is
+    /// invariant across evictions (admission reservations stay stable).
+    fn remaining_max_output(&self) -> u64 {
+        self.request
+            .max_output_len
+            .saturating_sub(self.resume_generated)
+    }
 }
 
 /// Sets a request's phase and keeps the table's phase indices in sync.
@@ -241,6 +323,16 @@ enum Work {
     Migration {
         request: RequestId,
     },
+    /// A preemption teardown: the KV was already freed at action time; the
+    /// (epsilon-length) event only guarantees another scheduling point sees
+    /// the freed slots.
+    Preempt,
+    SwapOut {
+        request: RequestId,
+    },
+    SwapIn {
+        request: RequestId,
+    },
 }
 
 /// The result of one engine run.
@@ -263,6 +355,10 @@ pub struct RunOutcome {
     pub migration_bytes: f64,
     /// Wall-clock-free sanity counter: scheduler invocations.
     pub scheduler_calls: u64,
+    /// Memory-pressure activity: preempt-and-recompute evictions, swap
+    /// traffic and stall time. All-zero whenever the run never crossed a
+    /// pressure watermark.
+    pub pressure: PressureStats,
 }
 
 /// The serving engine.
@@ -324,8 +420,18 @@ impl ServingEngine {
     /// O(all requests ever seen). Debug builds shadow every view with a
     /// naive full-scan rebuild and assert equality.
     pub fn run(&mut self, trace: &Trace) -> RunOutcome {
-        let capacity = self.config.instance_kv_capacity();
+        let capacity = self
+            .config
+            .kv_capacity_override
+            .unwrap_or_else(|| self.config.instance_kv_capacity());
         let mut pool = UnifiedKvPool::new(self.registry.num_instances(), capacity);
+        if let Some(host) = &self.config.host_swap {
+            pool.enable_host_tier(host.capacity_tokens);
+        }
+        let host_link = self.config.host_swap.as_ref().map(|h| h.link);
+        // Whole-model KV footprint: a swapped token leaves every GPU shard.
+        let kv_bytes_per_token = self.config.model.kv_bytes_per_token();
+        let mut pressure_stats = PressureStats::default();
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
         let mut table: RequestTable<RequestState> =
             RequestTable::with_capacity(trace.requests.len());
@@ -339,6 +445,7 @@ impl ServingEngine {
                     first_token: None,
                     finish: None,
                     preemptions: 0,
+                    resume_generated: 0,
                 },
             );
             queue.push(req.arrival, EngineEvent::Arrival(req.id));
@@ -404,9 +511,9 @@ impl ServingEngine {
                     Phase::Pending { prefilled } => scratch.pending.push(PendingRequest {
                         id,
                         arrival: s.request.arrival,
-                        input_len: s.request.input_len,
+                        input_len: s.effective_input(),
                         prefilled_len: prefilled,
-                        max_output_len: s.request.max_output_len,
+                        max_output_len: s.remaining_max_output(),
                     }),
                     _ => unreachable!("pending index out of sync with phase"),
                 }
@@ -425,6 +532,18 @@ impl ServingEngine {
                         kv_instances: pool.locations_ref(id).iter().map(|&(i, _)| i).collect(),
                     }),
                     _ => unreachable!("decode-ready index out of sync with phase"),
+                }
+            }
+            for id in table.iter_class(PhaseClass::Swapped) {
+                let s = table.get(id).expect("indexed request exists");
+                match s.phase {
+                    Phase::Swapped { generated } => scratch.swapped.push(SwappedRequest {
+                        id,
+                        context_len: s.request.input_len + generated,
+                        generated,
+                        tokens: pool.swapped_tokens_of(id),
+                    }),
+                    _ => unreachable!("swapped index out of sync with phase"),
                 }
             }
             instances_state.fill_view(&mut scratch);
@@ -482,7 +601,9 @@ impl ServingEngine {
                                 let s = table.get(*id)?;
                                 matches!(s.phase, Phase::Pending { .. }).then(|| PrefillRequest {
                                     id: *id,
-                                    input_len: s.request.input_len,
+                                    // Recompute evictions re-prefill the
+                                    // checkpointed tokens too.
+                                    input_len: s.effective_input(),
                                 })
                             })
                             .collect();
@@ -614,7 +735,7 @@ impl ServingEngine {
                         let Phase::Pending { prefilled } = state.phase else {
                             continue;
                         };
-                        let chunk = chunk_tokens.min(state.request.input_len - prefilled);
+                        let chunk = chunk_tokens.min(state.effective_input() - prefilled);
                         if chunk == 0 {
                             continue;
                         }
@@ -721,6 +842,99 @@ impl ServingEngine {
                             Err(_) => continue,
                         }
                     }
+                    Action::Preempt { request } => {
+                        let Some(state) = table.get(request) else {
+                            continue;
+                        };
+                        let Phase::DecodeReady { generated } = state.phase else {
+                            continue;
+                        };
+                        // Discard the KV and send the request back to the
+                        // pending queue; it keeps its admission rank, so it
+                        // re-prefills in FCFS position once pressure clears.
+                        // The checkpoint makes the next prefill recompute
+                        // prompt + generated KV and decoding resume in
+                        // place, so each output token is generated exactly
+                        // once (vLLM's recompute semantics).
+                        pool.release(request);
+                        set_phase(&mut table, request, Phase::Pending { prefilled: 0 });
+                        let state = table.get_mut(request).expect("known request");
+                        state.resume_generated = generated;
+                        state.preemptions += 1;
+                        pressure_stats.preemptions += 1;
+                        // Freeing memory schedules no work of its own; the
+                        // epsilon event guarantees a next scheduling point
+                        // that sees the freed slots.
+                        let done = now + SimDuration::from_secs(1e-6);
+                        let wid = work_ids.next().raw();
+                        in_flight.insert(wid, Work::Preempt);
+                        queue.push(done, EngineEvent::WorkComplete(wid));
+                    }
+                    Action::SwapOut { request } => {
+                        let Some(state) = table.get(request) else {
+                            continue;
+                        };
+                        let generated = match state.phase {
+                            Phase::DecodeReady { generated } => generated,
+                            _ => continue,
+                        };
+                        let Some(link) = host_link else {
+                            continue;
+                        };
+                        let tokens = match pool.swap_out(request) {
+                            Ok(tokens) => tokens,
+                            Err(_) => continue,
+                        };
+                        // Device slots free immediately (the DMA drains
+                        // asynchronously); the request itself stalls for the
+                        // D2H transfer before it is parked.
+                        let bytes = tokens as f64 * kv_bytes_per_token;
+                        let transfer_s = link.transfer_time(bytes).max(1e-6);
+                        set_phase(&mut table, request, Phase::SwappingOut { generated });
+                        pressure_stats.swap_out_events += 1;
+                        pressure_stats.swap_out_bytes += bytes;
+                        pressure_stats.swap_stall_s += transfer_s;
+                        pressure_stats.max_outstanding_swapped_tokens = pressure_stats
+                            .max_outstanding_swapped_tokens
+                            .max(pool.total_swapped());
+                        let done = now + SimDuration::from_secs(transfer_s);
+                        let wid = work_ids.next().raw();
+                        in_flight.insert(wid, Work::SwapOut { request });
+                        queue.push(done, EngineEvent::WorkComplete(wid));
+                    }
+                    Action::SwapIn { request, targets } => {
+                        let Some(state) = table.get(request) else {
+                            continue;
+                        };
+                        let generated = match state.phase {
+                            Phase::Swapped { generated } => generated,
+                            _ => continue,
+                        };
+                        let Some(link) = host_link else {
+                            continue;
+                        };
+                        let tokens = match pool.swap_in(
+                            request,
+                            &targets,
+                            PlacementStrategy::PackMostFree,
+                        ) {
+                            Ok(tokens) => tokens,
+                            Err(_) => continue,
+                        };
+                        // Device slots are reserved now (no oversubscription
+                        // while the H2D transfer is in flight); the request
+                        // resumes decoding when it completes.
+                        let bytes = tokens as f64 * kv_bytes_per_token;
+                        let transfer_s = link.transfer_time(bytes).max(1e-6);
+                        set_phase(&mut table, request, Phase::SwappingIn { generated });
+                        pressure_stats.swap_in_events += 1;
+                        pressure_stats.swap_in_bytes += bytes;
+                        pressure_stats.swap_stall_s += transfer_s;
+                        let done = now + SimDuration::from_secs(transfer_s);
+                        let wid = work_ids.next().raw();
+                        in_flight.insert(wid, Work::SwapIn { request });
+                        queue.push(done, EngineEvent::WorkComplete(wid));
+                    }
                 }
             }
         }
@@ -759,6 +973,7 @@ impl ServingEngine {
             iterations,
             migration_bytes,
             scheduler_calls,
+            pressure: pressure_stats,
         }
     }
 
@@ -783,11 +998,14 @@ impl ServingEngine {
                 for id in requests {
                     let s = table.get_mut(id).expect("known request");
                     s.first_token.get_or_insert(now);
-                    // The prefill produced the first output token.
-                    if s.request.output_len <= 1 {
+                    // The prefill produced the first output token — or, for
+                    // a recompute eviction, rebuilt the KV up to the
+                    // checkpoint so decoding resumes there.
+                    let generated = s.resume_generated.max(1);
+                    if s.request.output_len <= generated {
                         Self::finish_request(table, id, now, pool, decode_stats);
                     } else {
-                        set_phase(table, id, Phase::DecodeReady { generated: 1 });
+                        set_phase(table, id, Phase::DecodeReady { generated });
                     }
                 }
             }
@@ -812,14 +1030,18 @@ impl ServingEngine {
                     instances_state.complete(inst);
                 }
                 let s = table.get_mut(prefill_request).expect("known request");
-                // Advance the prompt; if it is done, the first token is out.
-                let prefilled = prefilled_after.min(s.request.input_len);
-                if prefilled >= s.request.input_len {
+                // Advance the prompt; if it is done, the first token is out
+                // (or, after a recompute eviction, the checkpoint is
+                // rebuilt and decoding resumes there).
+                let effective_input = s.effective_input();
+                let prefilled = prefilled_after.min(effective_input);
+                if prefilled >= effective_input {
                     s.first_token.get_or_insert(now);
-                    if s.request.output_len <= 1 {
+                    let generated = s.resume_generated.max(1);
+                    if s.request.output_len <= generated {
                         Self::finish_request(table, prefill_request, now, pool, decode_stats);
                     } else {
-                        set_phase(table, prefill_request, Phase::DecodeReady { generated: 1 });
+                        set_phase(table, prefill_request, Phase::DecodeReady { generated });
                     }
                 } else {
                     set_phase(table, prefill_request, Phase::Pending { prefilled });
@@ -830,6 +1052,23 @@ impl ServingEngine {
             }
             Work::Migration { request } => {
                 if let Some(Phase::Migrating { generated }) = table.get(request).map(|s| &s.phase) {
+                    let generated = *generated;
+                    set_phase(table, request, Phase::DecodeReady { generated });
+                }
+            }
+            // The phase was reset at action time; the event only forced a
+            // scheduling point.
+            Work::Preempt => {}
+            Work::SwapOut { request } => {
+                if let Some(Phase::SwappingOut { generated }) = table.get(request).map(|s| &s.phase)
+                {
+                    let generated = *generated;
+                    set_phase(table, request, Phase::Swapped { generated });
+                }
+            }
+            Work::SwapIn { request } => {
+                if let Some(Phase::SwappingIn { generated }) = table.get(request).map(|s| &s.phase)
+                {
                     let generated = *generated;
                     set_phase(table, request, Phase::DecodeReady { generated });
                 }
@@ -924,9 +1163,9 @@ mod audit {
                         Phase::Pending { prefilled } => Some(PendingRequest {
                             id,
                             arrival: s.request.arrival,
-                            input_len: s.request.input_len,
+                            input_len: s.effective_input(),
                             prefilled_len: prefilled,
-                            max_output_len: s.request.max_output_len,
+                            max_output_len: s.remaining_max_output(),
                         }),
                         _ => None,
                     }
@@ -964,6 +1203,27 @@ mod audit {
             assert_eq!(
                 scratch.decoding, naive_decoding,
                 "incremental decoding view diverged from full-scan rebuild"
+            );
+
+            let naive_swapped: Vec<SwappedRequest> = self
+                .arrived
+                .iter()
+                .filter_map(|&id| {
+                    let s = table.get(id)?;
+                    match s.phase {
+                        Phase::Swapped { generated } => Some(SwappedRequest {
+                            id,
+                            context_len: s.request.input_len + generated,
+                            generated,
+                            tokens: pool.host().map(|h| h.swapped_tokens_of(id)).unwrap_or(0),
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect();
+            assert_eq!(
+                scratch.swapped, naive_swapped,
+                "incremental swapped view diverged from full-scan rebuild"
             );
 
             // The old engine re-filtered every instance against `busy_until`

@@ -30,9 +30,10 @@
 //! identically-seeded fleet runs are bit-for-bit reproducible.
 
 use crate::engine::RunOutcome;
-use crate::systems::{SystemKind, SystemUnderTest};
+use crate::systems::{PressureMode, SystemKind, SystemUnderTest};
 use loong_cluster::topology::ClusterSpec;
 use loong_metrics::fleet::FleetSummary;
+use loong_metrics::pressure::PressureStats;
 use loong_metrics::record::RequestRecord;
 use loong_metrics::slo::SloSpec;
 use loong_model::config::ModelConfig;
@@ -61,6 +62,10 @@ pub struct FleetConfig {
     pub seed: u64,
     /// The routing policy assigning arriving requests to replicas.
     pub policy: RouterPolicy,
+    /// Memory-pressure handling of every replica.
+    pub pressure: PressureMode,
+    /// Per-instance KV capacity override applied to every replica.
+    pub kv_capacity_override: Option<u64>,
     /// Run replicas on worker threads. Purely a wall-clock choice: replicas
     /// are independent, so the outcome is identical either way.
     pub parallel: bool,
@@ -78,6 +83,8 @@ impl FleetConfig {
             model: single.model,
             seed: single.seed,
             policy,
+            pressure: PressureMode::Off,
+            kv_capacity_override: None,
             parallel: false,
         }
     }
@@ -89,6 +96,9 @@ impl FleetConfig {
             cluster: self.cluster.clone(),
             model: self.model.clone(),
             seed: self.seed,
+            pressure: self.pressure,
+            kv_capacity_override: self.kv_capacity_override,
+            max_sim_time: None,
         }
     }
 }
@@ -127,6 +137,9 @@ pub struct FleetOutcome {
     pub migration_bytes: f64,
     /// Scheduler invocations across all replicas.
     pub scheduler_calls: u64,
+    /// Memory-pressure activity accumulated across replicas (counters sum;
+    /// the outstanding-swapped high-water mark takes the per-replica max).
+    pub pressure: PressureStats,
 }
 
 impl FleetOutcome {
@@ -154,7 +167,20 @@ impl FleetOutcome {
             .iter()
             .map(|r| r.outcome.records.as_slice())
             .collect();
-        FleetSummary::from_replica_records(system, workload, request_rate, &replica_records, slo)
+        let mut summary = FleetSummary::from_replica_records(
+            system,
+            workload,
+            request_rate,
+            &replica_records,
+            slo,
+        );
+        let per_replica_pressure: Vec<PressureStats> = self
+            .per_replica
+            .iter()
+            .map(|r| r.outcome.pressure)
+            .collect();
+        summary.attach_pressure(&per_replica_pressure);
+        summary
     }
 }
 
@@ -269,6 +295,7 @@ impl FleetEngine {
         let mut iterations = 0u64;
         let mut migration_bytes = 0.0f64;
         let mut scheduler_calls = 0u64;
+        let mut pressure = PressureStats::default();
         let mut per_replica = Vec::with_capacity(outcomes.len());
         for (i, (sub, outcome)) in subs.into_iter().zip(outcomes).enumerate() {
             records.extend(outcome.records.iter().copied());
@@ -278,6 +305,7 @@ impl FleetEngine {
             iterations += outcome.iterations;
             migration_bytes += outcome.migration_bytes;
             scheduler_calls += outcome.scheduler_calls;
+            pressure.merge(&outcome.pressure);
             per_replica.push(ReplicaOutcome {
                 replica: ReplicaId::from(i),
                 assigned: sub.len(),
@@ -296,6 +324,7 @@ impl FleetEngine {
             iterations,
             migration_bytes,
             scheduler_calls,
+            pressure,
         }
     }
 }

@@ -46,21 +46,21 @@ pub mod fleet;
 pub mod report;
 pub mod systems;
 
-pub use engine::{EngineConfig, RunOutcome, ServingEngine};
+pub use engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
 pub use experiment::{compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec};
 pub use fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
-pub use systems::{SystemKind, SystemUnderTest};
+pub use systems::{PressureMode, SystemKind, SystemUnderTest};
 
 /// Convenient glob-import of the most commonly used types across the whole
 /// workspace.
 pub mod prelude {
-    pub use crate::engine::{EngineConfig, RunOutcome, ServingEngine};
+    pub use crate::engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
     pub use crate::experiment::{
         compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec,
     };
     pub use crate::fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
     pub use crate::report;
-    pub use crate::systems::{SystemKind, SystemUnderTest};
+    pub use crate::systems::{PressureMode, SystemKind, SystemUnderTest};
     pub use loong_cluster::prelude::*;
     pub use loong_esp::prelude::*;
     pub use loong_kvcache::prelude::*;

@@ -135,6 +135,7 @@ mod tests {
             output_latency: LatencySummary::from_values(&[0.02]),
             slo_attainment: attainment,
             preemptions: 0,
+            pressure: loong_metrics::pressure::PressureStats::default(),
         }
     }
 

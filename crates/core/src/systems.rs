@@ -6,7 +6,7 @@
 //! LoongServe with TP=2 and up to ESP=4 on one node, vLLM with TP=8,
 //! DistServe with two TP=4 halves, and so on.
 
-use crate::engine::{EngineConfig, RunOutcome, ServingEngine};
+use crate::engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
 use loong_cluster::topology::ClusterSpec;
 use loong_metrics::slo::SloSpec;
 use loong_metrics::summary::RunSummary;
@@ -15,8 +15,10 @@ use loong_sched::baselines::{
     DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler, StaticHybridScheduler,
 };
 use loong_sched::manager::{LoongServeConfig, LoongServeScheduler};
+use loong_sched::pressure::PressureConfig;
 use loong_sched::types::Scheduler;
 use loong_simcore::ids::InstanceId;
+use loong_simcore::time::SimDuration;
 use loong_workload::trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +128,66 @@ impl SystemKind {
             SystemKind::Replicated => Box::new(IndependentInstancesScheduler::replicated()),
         }
     }
+
+    /// Builds the scheduler with memory-pressure handling enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics for systems that have no pressure-aware scheduler (the
+    /// chunked-prefill and disaggregation baselines).
+    pub fn build_pressure_scheduler(
+        &self,
+        instances: &[InstanceId],
+        trace: Option<&Trace>,
+        pressure: PressureConfig,
+    ) -> Box<dyn Scheduler> {
+        let _ = (instances, trace);
+        match self {
+            SystemKind::LoongServe => Box::new(LoongServeScheduler::new().with_pressure(pressure)),
+            SystemKind::LoongServeNoScaleUp => Box::new(
+                LoongServeScheduler::with_config(LoongServeConfig {
+                    enable_scale_up: false,
+                    enable_proactive_scale_down: true,
+                })
+                .with_pressure(pressure),
+            ),
+            SystemKind::Vllm => {
+                Box::new(IndependentInstancesScheduler::vllm().with_pressure(pressure))
+            }
+            SystemKind::Replicated => {
+                Box::new(IndependentInstancesScheduler::replicated().with_pressure(pressure))
+            }
+            other => panic!("{other:?} has no pressure-aware scheduler"),
+        }
+    }
+}
+
+/// How a system handles KV memory pressure.
+///
+/// `Off` is the pre-subsystem behaviour: conservative full-output
+/// reservation at admission, so the pool can never be exhausted and the
+/// golden digests stay bit-for-bit. The other two modes admit optimistically
+/// and trade memory under pressure — for compute (`Recompute`, the
+/// vLLM-style baseline) or for PCIe bandwidth (`SwapToHost`, which also
+/// enables the host-DRAM tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PressureMode {
+    /// No pressure handling (conservative admission; the default).
+    Off,
+    /// Preempt-and-recompute victims under pressure.
+    Recompute,
+    /// Swap victims to the host-DRAM tier and restore them later.
+    SwapToHost,
+}
+
+impl PressureMode {
+    fn config(&self) -> Option<PressureConfig> {
+        match self {
+            PressureMode::Off => None,
+            PressureMode::Recompute => Some(PressureConfig::recompute()),
+            PressureMode::SwapToHost => Some(PressureConfig::swap_to_host()),
+        }
+    }
 }
 
 /// A fully specified experiment: system + cluster + model.
@@ -139,6 +201,13 @@ pub struct SystemUnderTest {
     pub model: ModelConfig,
     /// Seed for the engine's internal randomness.
     pub seed: u64,
+    /// Memory-pressure handling.
+    pub pressure: PressureMode,
+    /// Per-instance KV capacity override for overload experiments.
+    pub kv_capacity_override: Option<u64>,
+    /// Hard cap on simulated time (a watchdog for overload experiments);
+    /// `None` runs to completion.
+    pub max_sim_time: Option<SimDuration>,
 }
 
 impl SystemUnderTest {
@@ -149,7 +218,28 @@ impl SystemUnderTest {
             cluster: ClusterSpec::single_node_a800(8),
             model: ModelConfig::lwm_1m_text(),
             seed: 0x5eed,
+            pressure: PressureMode::Off,
+            kv_capacity_override: None,
+            max_sim_time: None,
         }
+    }
+
+    /// Enables a memory-pressure mode (see [`PressureMode`]).
+    pub fn with_pressure(mut self, pressure: PressureMode) -> Self {
+        self.pressure = pressure;
+        self
+    }
+
+    /// Overrides the per-instance KV capacity (overload experiments).
+    pub fn with_kv_capacity(mut self, capacity: u64) -> Self {
+        self.kv_capacity_override = Some(capacity);
+        self
+    }
+
+    /// Caps simulated time (a watchdog for overload experiments).
+    pub fn with_max_sim_time(mut self, cap: SimDuration) -> Self {
+        self.max_sim_time = Some(cap);
+        self
     }
 
     /// The paper's two-node testbed (Figure 11) for a given system.
@@ -163,6 +253,16 @@ impl SystemUnderTest {
     /// Builds the serving engine for this system.
     pub fn build_engine(&self, trace: Option<&Trace>) -> ServingEngine {
         let tp = self.kind.tp(self.cluster.gpus_per_node);
+        // The host tier exists only under the swap mode; half the node's
+        // DRAM is assumed available for swapped KV.
+        let host_swap = match self.pressure {
+            PressureMode::SwapToHost => Some(HostSwapConfig::from_cluster(
+                &self.cluster,
+                &self.model,
+                0.5,
+            )),
+            _ => None,
+        };
         let config = EngineConfig {
             cluster: self.cluster.clone(),
             tp,
@@ -170,11 +270,18 @@ impl SystemUnderTest {
             workspace_fraction: 0.10,
             sib_noise: 0.01,
             seed: self.seed,
-            max_sim_time: None,
+            max_sim_time: self.max_sim_time,
+            host_swap,
+            kv_capacity_override: self.kv_capacity_override,
         };
         // The scheduler needs the instance list, which depends on tp.
         let registry = loong_esp::instance::InstanceRegistry::build(&self.cluster, tp);
-        let scheduler = self.kind.build_scheduler(&registry.all_ids(), trace);
+        let scheduler = match self.pressure.config() {
+            None => self.kind.build_scheduler(&registry.all_ids(), trace),
+            Some(cfg) => self
+                .kind
+                .build_pressure_scheduler(&registry.all_ids(), trace, cfg),
+        };
         ServingEngine::new(config, scheduler)
     }
 

@@ -6,7 +6,9 @@
 //!   one, as in the paper's implementation §6),
 //! * [`placement`] — token-level placement plans and strategies,
 //! * [`unified`] — the unified distributed pool spanning all elastic
-//!   instances, with commit/append/migrate/drain/evict operations,
+//!   instances, with commit/append/migrate/drain/evict operations and an
+//!   optional host-DRAM swap tier (`swap_out`/`swap_in`),
+//! * [`host`] — the host-DRAM pool backing the swap tier,
 //! * [`frag`] — fragmentation metrics contrasting locality-constrained and
 //!   unified admission (paper §2.4, Figure 4).
 //!
@@ -30,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod frag;
+pub mod host;
 pub mod placement;
 pub mod pool;
 pub mod unified;
@@ -37,6 +40,7 @@ pub mod unified;
 pub use frag::{
     admissible_unified, admissible_with_locality, fragmentation_report, FragmentationReport,
 };
+pub use host::HostKvPool;
 pub use placement::{plan_placement, PlacementPlan, PlacementStrategy};
 pub use pool::{InstanceKvPool, KvError};
 pub use unified::{KvMove, UnifiedKvPool};
@@ -46,6 +50,7 @@ pub mod prelude {
     pub use crate::frag::{
         admissible_unified, admissible_with_locality, fragmentation_report, FragmentationReport,
     };
+    pub use crate::host::HostKvPool;
     pub use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
     pub use crate::pool::{InstanceKvPool, KvError};
     pub use crate::unified::{KvMove, UnifiedKvPool};

@@ -29,6 +29,34 @@ pub enum KvError {
         /// The request that was not found.
         request: RequestId,
     },
+    /// The host swap tier does not have enough free slots.
+    HostInsufficientCapacity {
+        /// Slots requested.
+        requested: u64,
+        /// Slots actually free on the host.
+        free: u64,
+    },
+    /// The host swap tier is not enabled on this pool.
+    HostTierDisabled,
+    /// The request is currently parked on the host tier; device-side
+    /// mutations (or a second swap-out) must wait for its swap-in.
+    AlreadySwapped {
+        /// The swapped-out request.
+        request: RequestId,
+    },
+    /// The request holds no host slots, so it cannot be swapped in (or it
+    /// holds no device slots, so it cannot be swapped out).
+    NothingToSwap {
+        /// The request that had nothing to move.
+        request: RequestId,
+    },
+    /// No feasible device placement exists for a swap-in.
+    NoSwapInPlacement {
+        /// The request whose KV could not be placed.
+        request: RequestId,
+        /// Tokens that needed placing.
+        requested: u64,
+    },
 }
 
 impl std::fmt::Display for KvError {
@@ -45,6 +73,21 @@ impl std::fmt::Display for KvError {
             KvError::UnknownRequest { instance, request } => {
                 write!(f, "{instance}: request {request} holds no KV slots here")
             }
+            KvError::HostInsufficientCapacity { requested, free } => write!(
+                f,
+                "host tier: requested {requested} KV slots but only {free} free"
+            ),
+            KvError::HostTierDisabled => write!(f, "host swap tier is not enabled"),
+            KvError::AlreadySwapped { request } => {
+                write!(f, "request {request} is swapped out to the host tier")
+            }
+            KvError::NothingToSwap { request } => {
+                write!(f, "request {request} holds no KV slots to swap")
+            }
+            KvError::NoSwapInPlacement { request, requested } => write!(
+                f,
+                "no feasible placement for swapping {requested} KV slots of {request} back in"
+            ),
         }
     }
 }

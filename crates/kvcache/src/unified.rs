@@ -7,6 +7,7 @@
 //! slot usage across instances, commits placement plans, grows requests
 //! during decoding, migrates spans between instances, and evicts requests.
 
+use crate::host::HostKvPool;
 use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
 use crate::pool::{InstanceKvPool, KvError};
 use loong_simcore::ids::{InstanceId, RequestId};
@@ -36,6 +37,10 @@ pub struct UnifiedKvPool {
     /// a scan over all instances, and `resident_requests` costs O(n)
     /// instead of O(n²). The `BTreeMap` keeps iteration deterministic.
     residency: BTreeMap<RequestId, Vec<(InstanceId, u64)>>,
+    /// The optional host-DRAM swap tier. `None` (the default) keeps every
+    /// device-side operation on its pre-existing path — the zero-cost-when-
+    /// disabled invariant the golden digests pin.
+    host: Option<HostKvPool>,
 }
 
 impl UnifiedKvPool {
@@ -47,6 +52,7 @@ impl UnifiedKvPool {
                 .map(|i| InstanceKvPool::new(InstanceId::from(i), capacity_per_instance))
                 .collect(),
             residency: BTreeMap::new(),
+            host: None,
         }
     }
 
@@ -60,6 +66,7 @@ impl UnifiedKvPool {
                 .map(|(i, &c)| InstanceKvPool::new(InstanceId::from(i), c))
                 .collect(),
             residency: BTreeMap::new(),
+            host: None,
         }
     }
 
@@ -180,6 +187,7 @@ impl UnifiedKvPool {
     pub fn commit(&mut self, plan: &PlacementPlan) -> Result<(), KvError> {
         plan.validate()
             .expect("placement plans are validated at construction");
+        self.ensure_not_swapped(plan.request)?;
         // Two-phase: check everything fits before mutating so a failed
         // commit leaves the pool untouched.
         for &(inst, tokens) in &plan.spans {
@@ -209,6 +217,7 @@ impl UnifiedKvPool {
         instance: InstanceId,
         tokens: u64,
     ) -> Result<(), KvError> {
+        self.ensure_not_swapped(request)?;
         self.pools[instance.index()].allocate(request, tokens)?;
         self.residency_add(request, instance, tokens);
         Ok(())
@@ -363,6 +372,18 @@ impl UnifiedKvPool {
                 }
             }
         }
+        // The host tier, when enabled, must be internally consistent and
+        // disjoint from device residency (swap is whole-request).
+        if let Some(host) = &self.host {
+            host.check_invariants()?;
+            for request in host.swapped_requests() {
+                if self.residency.contains_key(&request) {
+                    return Err(format!(
+                        "{request} is both device-resident and swapped to the host tier"
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -394,6 +415,123 @@ impl UnifiedKvPool {
                 (p.instance, u)
             })
             .collect()
+    }
+
+    // ---- Host-DRAM swap tier ------------------------------------------------
+
+    /// Enables the host swap tier with `capacity` token slots. The tier
+    /// starts empty; enabling it changes no device-side state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier is already enabled.
+    pub fn enable_host_tier(&mut self, capacity: u64) {
+        assert!(self.host.is_none(), "host tier enabled twice");
+        self.host = Some(HostKvPool::new(capacity));
+    }
+
+    /// The host swap tier, if enabled.
+    pub fn host(&self) -> Option<&HostKvPool> {
+        self.host.as_ref()
+    }
+
+    /// Returns true if the host swap tier is enabled.
+    pub fn host_enabled(&self) -> bool {
+        self.host.is_some()
+    }
+
+    /// Tokens `request` has parked on the host tier (zero when the tier is
+    /// disabled or the request is device-resident).
+    pub fn swapped_tokens_of(&self, request: RequestId) -> u64 {
+        self.host
+            .as_ref()
+            .map(|h| h.swapped_tokens_of(request))
+            .unwrap_or(0)
+    }
+
+    /// Total tokens parked on the host tier.
+    pub fn total_swapped(&self) -> u64 {
+        self.host.as_ref().map(|h| h.used()).unwrap_or(0)
+    }
+
+    /// Device pool utilisation in `[0, 1]` across all instances — the
+    /// pressure signal watermark policies compare against.
+    pub fn device_utilization(&self) -> f64 {
+        let cap = self.total_capacity();
+        if cap == 0 {
+            return 1.0;
+        }
+        self.total_used() as f64 / cap as f64
+    }
+
+    /// Errors if `request` is currently parked on the host tier. Device-side
+    /// mutations call this so a swapped request cannot grow a second,
+    /// split-brain device residency; a disabled tier costs one `Option`
+    /// check.
+    fn ensure_not_swapped(&self, request: RequestId) -> Result<(), KvError> {
+        match &self.host {
+            Some(h) if h.hosts(request) => Err(KvError::AlreadySwapped { request }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Evicts every device-resident token of `request` to the host tier,
+    /// returning the number of tokens moved. Whole-request granularity: on
+    /// success the request holds no device slots and appears only in the
+    /// host pool; on error nothing changes.
+    pub fn swap_out(&mut self, request: RequestId) -> Result<u64, KvError> {
+        let Some(host) = &self.host else {
+            return Err(KvError::HostTierDisabled);
+        };
+        let tokens = self.tokens_of(request);
+        if tokens == 0 {
+            return Err(KvError::NothingToSwap { request });
+        }
+        if host.hosts(request) {
+            return Err(KvError::AlreadySwapped { request });
+        }
+        if tokens > host.free() {
+            return Err(KvError::HostInsufficientCapacity {
+                requested: tokens,
+                free: host.free(),
+            });
+        }
+        // All checks passed: release the device slots, park on the host.
+        let freed = self.release(request);
+        debug_assert_eq!(freed, tokens);
+        self.host
+            .as_mut()
+            .expect("checked above")
+            .accept(request, tokens)
+            .expect("capacity checked above");
+        Ok(tokens)
+    }
+
+    /// Restores `request` from the host tier onto `candidates`, planning a
+    /// fresh device placement with `strategy`. Returns the number of tokens
+    /// moved; on error nothing changes.
+    pub fn swap_in(
+        &mut self,
+        request: RequestId,
+        candidates: &[InstanceId],
+        strategy: PlacementStrategy,
+    ) -> Result<u64, KvError> {
+        let Some(host) = &self.host else {
+            return Err(KvError::HostTierDisabled);
+        };
+        let tokens = host.swapped_tokens_of(request);
+        if tokens == 0 {
+            return Err(KvError::NothingToSwap { request });
+        }
+        let plan = plan_placement(request, tokens, &self.free_slots_on(candidates), strategy)
+            .ok_or(KvError::NoSwapInPlacement {
+                request,
+                requested: tokens,
+            })?;
+        self.host.as_mut().expect("checked above").release(request);
+        self.commit(&plan)
+            .expect("placement planned against current free slots");
+        Ok(tokens)
     }
 }
 
@@ -513,6 +651,105 @@ mod tests {
         p.append(RequestId(1), InstanceId(0), 50).expect("room");
         let u = p.utilization();
         assert_eq!(u, vec![(InstanceId(0), 0.5), (InstanceId(1), 0.0)]);
+    }
+
+    #[test]
+    fn swap_out_and_in_roundtrip_preserves_tokens() {
+        let mut p = pool();
+        p.enable_host_tier(1_000_000);
+        let plan = p
+            .plan(
+                RequestId(4),
+                250_000,
+                &[InstanceId(0), InstanceId(1), InstanceId(2)],
+                PlacementStrategy::Balanced,
+            )
+            .expect("fits");
+        p.commit(&plan).expect("commit");
+        let moved = p.swap_out(RequestId(4)).expect("host has room");
+        assert_eq!(moved, 250_000);
+        assert_eq!(p.tokens_of(RequestId(4)), 0);
+        assert_eq!(p.swapped_tokens_of(RequestId(4)), 250_000);
+        assert_eq!(p.total_swapped(), 250_000);
+        assert_eq!(p.total_used(), 0);
+        assert!(p.check_invariants().is_ok());
+        // A swapped request cannot grow device residency.
+        assert!(matches!(
+            p.append(RequestId(4), InstanceId(0), 1),
+            Err(KvError::AlreadySwapped { .. })
+        ));
+        let restored = p
+            .swap_in(
+                RequestId(4),
+                &[InstanceId(0), InstanceId(1), InstanceId(2)],
+                PlacementStrategy::PackMostFree,
+            )
+            .expect("device has room");
+        assert_eq!(restored, 250_000);
+        assert_eq!(p.tokens_of(RequestId(4)), 250_000);
+        assert_eq!(p.total_swapped(), 0);
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn swap_errors_leave_both_tiers_untouched() {
+        let mut p = UnifiedKvPool::with_capacities(&[100, 100]);
+        // Disabled tier.
+        p.append(RequestId(1), InstanceId(0), 50).expect("room");
+        assert!(matches!(
+            p.swap_out(RequestId(1)),
+            Err(KvError::HostTierDisabled)
+        ));
+        // Tiny host: eviction does not fit.
+        p.enable_host_tier(10);
+        assert!(matches!(
+            p.swap_out(RequestId(1)),
+            Err(KvError::HostInsufficientCapacity { requested: 50, .. })
+        ));
+        assert_eq!(p.tokens_of(RequestId(1)), 50);
+        // Nothing to swap either way.
+        assert!(matches!(
+            p.swap_out(RequestId(9)),
+            Err(KvError::NothingToSwap { .. })
+        ));
+        assert!(matches!(
+            p.swap_in(
+                RequestId(9),
+                &[InstanceId(0)],
+                PlacementStrategy::PackMostFree
+            ),
+            Err(KvError::NothingToSwap { .. })
+        ));
+        assert!(p.check_invariants().is_ok());
+
+        // Swap-in with no feasible placement keeps the request parked.
+        let mut q = UnifiedKvPool::with_capacities(&[100]);
+        q.enable_host_tier(100);
+        q.append(RequestId(2), InstanceId(0), 80).expect("room");
+        q.swap_out(RequestId(2)).expect("fits on host");
+        q.append(RequestId(3), InstanceId(0), 60).expect("room");
+        assert!(matches!(
+            q.swap_in(
+                RequestId(2),
+                &[InstanceId(0)],
+                PlacementStrategy::PackMostFree
+            ),
+            Err(KvError::NoSwapInPlacement { requested: 80, .. })
+        ));
+        assert_eq!(q.swapped_tokens_of(RequestId(2)), 80);
+        assert!(q.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn device_utilization_tracks_pressure() {
+        let mut p = UnifiedKvPool::with_capacities(&[100, 100]);
+        assert_eq!(p.device_utilization(), 0.0);
+        p.append(RequestId(0), InstanceId(0), 100).expect("room");
+        assert!((p.device_utilization() - 0.5).abs() < 1e-12);
+        assert!(!p.host_enabled());
+        p.enable_host_tier(50);
+        assert!(p.host_enabled());
+        assert_eq!(p.host().expect("enabled").capacity(), 50);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! mis-weight unevenly loaded replicas), while capacity questions need the
 //! per-replica breakdown. [`FleetSummary`] carries both.
 
+use crate::pressure::PressureStats;
 use crate::record::RequestRecord;
 use crate::slo::SloSpec;
 use crate::summary::RunSummary;
@@ -67,6 +68,27 @@ impl FleetSummary {
             })
             .collect();
         FleetSummary { fleet, per_replica }
+    }
+
+    /// Attaches per-replica memory-pressure counters (replica-id order) to
+    /// the rollup: each replica summary gets its own record and the merged
+    /// summary gets the fleet-wide accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the replica count.
+    pub fn attach_pressure(&mut self, per_replica: &[PressureStats]) {
+        assert_eq!(
+            per_replica.len(),
+            self.per_replica.len(),
+            "one pressure record per replica"
+        );
+        let mut merged = PressureStats::default();
+        for (summary, stats) in self.per_replica.iter_mut().zip(per_replica) {
+            summary.pressure = *stats;
+            merged.merge(stats);
+        }
+        self.fleet.pressure = merged;
     }
 
     /// Number of replicas in the fleet.
@@ -147,6 +169,33 @@ mod tests {
             s.completion_imbalance() > 1e9,
             "max/0 is effectively infinite"
         );
+    }
+
+    #[test]
+    fn pressure_rollup_sums_counters_and_maxes_watermark() {
+        let r0 = [record(0, 0.0, 2.0)];
+        let r1 = [record(1, 0.0, 2.0)];
+        let mut s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&r0, &r1], &slo());
+        assert!(s.fleet.pressure.is_zero());
+        let p0 = PressureStats {
+            preemptions: 2,
+            swap_out_bytes: 5.0,
+            max_outstanding_swapped_tokens: 100,
+            ..PressureStats::default()
+        };
+        let p1 = PressureStats {
+            swap_out_events: 1,
+            swap_out_bytes: 3.0,
+            max_outstanding_swapped_tokens: 400,
+            ..PressureStats::default()
+        };
+        s.attach_pressure(&[p0, p1]);
+        assert_eq!(s.per_replica[0].pressure, p0);
+        assert_eq!(s.per_replica[1].pressure, p1);
+        assert_eq!(s.fleet.pressure.preemptions, 2);
+        assert_eq!(s.fleet.pressure.swap_out_events, 1);
+        assert_eq!(s.fleet.pressure.swap_out_bytes, 8.0);
+        assert_eq!(s.fleet.pressure.max_outstanding_swapped_tokens, 400);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!   metrics derived from them,
 //! * [`latency`] — means, percentiles and latency summaries,
 //! * [`slo`] — SLO specifications, attainment and (P90) goodput,
+//! * [`pressure`] — memory-pressure counters (preemptions, swap traffic),
 //! * [`timeseries`] — binned event counters (e.g. scale-ups per 10 s),
 //! * [`summary`] — per-run summaries and markdown comparison tables,
 //! * [`fleet`] — fleet-level aggregation: merged metrics over every
@@ -36,6 +37,7 @@
 
 pub mod fleet;
 pub mod latency;
+pub mod pressure;
 pub mod record;
 pub mod slo;
 pub mod summary;
@@ -43,6 +45,7 @@ pub mod timeseries;
 
 pub use fleet::FleetSummary;
 pub use latency::{mean, percentile, LatencySummary};
+pub use pressure::PressureStats;
 pub use record::RequestRecord;
 pub use slo::{goodput, SloPoint, SloSpec};
 pub use summary::RunSummary;
@@ -52,6 +55,7 @@ pub use timeseries::BinnedCounter;
 pub mod prelude {
     pub use crate::fleet::FleetSummary;
     pub use crate::latency::{mean, percentile, LatencySummary};
+    pub use crate::pressure::PressureStats;
     pub use crate::record::RequestRecord;
     pub use crate::slo::{goodput, SloPoint, SloSpec};
     pub use crate::summary::RunSummary;

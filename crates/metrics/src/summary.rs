@@ -6,6 +6,7 @@
 //! assemble tables of these summaries across systems and request rates.
 
 use crate::latency::LatencySummary;
+use crate::pressure::PressureStats;
 use crate::record::RequestRecord;
 use crate::slo::SloSpec;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,11 @@ pub struct RunSummary {
     pub slo_attainment: f64,
     /// Total number of preemptions across requests.
     pub preemptions: u64,
+    /// Memory-pressure counters for the run (all-zero when the run never
+    /// crossed a pressure watermark). Record-derived constructors leave
+    /// this at zero; callers holding engine-level counters attach them via
+    /// [`RunSummary::with_pressure`].
+    pub pressure: PressureStats,
 }
 
 impl RunSummary {
@@ -70,6 +76,7 @@ impl RunSummary {
                 output_latency: LatencySummary::empty(),
                 slo_attainment: 0.0,
                 preemptions: 0,
+                pressure: PressureStats::default(),
             };
         }
         let first_arrival = records
@@ -116,7 +123,14 @@ impl RunSummary {
             output_latency: LatencySummary::from_values(&output),
             slo_attainment: slo.attainment(records),
             preemptions: records.iter().map(|r| u64::from(r.preemptions)).sum(),
+            pressure: PressureStats::default(),
         }
+    }
+
+    /// Attaches engine-level memory-pressure counters to the summary.
+    pub fn with_pressure(mut self, pressure: PressureStats) -> Self {
+        self.pressure = pressure;
+        self
     }
 
     /// One line of a markdown comparison table.

@@ -16,6 +16,7 @@
 //! single instance are rejected — the fragmentation weakness §2.4
 //! highlights.
 
+use crate::pressure::{pressure_actions_with_rescue, PressureConfig};
 use crate::types::{Action, PendingRequest, Scheduler, SchedulerView};
 use loong_model::roofline::ParallelConfig;
 use loong_simcore::ids::{InstanceId, RequestId};
@@ -29,6 +30,10 @@ pub struct IndependentInstancesScheduler {
     /// Pending requests already routed to an instance (sticky routing, so a
     /// request is not bounced between replicas while it waits).
     routing: HashMap<RequestId, InstanceId>,
+    /// Memory-pressure handling. `None` (the default) keeps the
+    /// conservative full-output reservation and never emits pressure
+    /// actions — the golden-pinned behaviour.
+    pressure: Option<PressureConfig>,
 }
 
 impl IndependentInstancesScheduler {
@@ -37,6 +42,7 @@ impl IndependentInstancesScheduler {
         IndependentInstancesScheduler {
             name: name.into(),
             routing: HashMap::new(),
+            pressure: None,
         }
     }
 
@@ -50,14 +56,45 @@ impl IndependentInstancesScheduler {
         Self::new("LoongServe w/o ESP (TP=2) x 4")
     }
 
+    /// Enables memory-pressure handling: optimistic admission per the
+    /// config's reserve factor, watermark-driven victim eviction, and (for
+    /// the swap policy) re-admission from the host tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails validation.
+    pub fn with_pressure(mut self, config: PressureConfig) -> Self {
+        config.validate().expect("valid pressure config");
+        self.pressure = Some(config);
+        self
+    }
+
+    /// KV slots reserved for a pending request at admission: the full
+    /// declared output without pressure handling, the configured optimistic
+    /// reservation with it.
+    fn reserved(&self, req: &PendingRequest) -> u64 {
+        match &self.pressure {
+            None => req.input_len + req.max_output_len,
+            Some(cfg) => cfg.admission_reserve(req.input_len, req.max_output_len),
+        }
+    }
+
     /// Routes a pending request to an instance: stick with a previous
     /// routing decision, otherwise pick the instance with the most free KV
     /// slots.
+    ///
+    /// Under pressure handling, routing is recomputed every round instead:
+    /// a sticky assignment made while a replica was emptiest can pin a
+    /// request to a replica that pressure later filled, starving it while
+    /// other replicas drain completely. (With pressure off the sticky path
+    /// is unchanged — the golden-pinned behaviour.)
     fn route(&mut self, view: &SchedulerView<'_>, req: &PendingRequest) -> Option<InstanceId> {
-        if let Some(&inst) = self.routing.get(&req.id) {
-            return Some(inst);
+        if self.pressure.is_none() {
+            if let Some(&inst) = self.routing.get(&req.id) {
+                return Some(inst);
+            }
         }
-        let needed = req.input_len + req.max_output_len;
+        let needed = self.reserved(req);
         let mut best: Option<(InstanceId, u64)> = None;
         for &(inst, free) in &view.pool.free_slots() {
             if free >= needed && best.map(|(_, b)| free > b).unwrap_or(true) {
@@ -65,7 +102,9 @@ impl IndependentInstancesScheduler {
             }
         }
         let inst = best.map(|(i, _)| i)?;
-        self.routing.insert(req.id, inst);
+        if self.pressure.is_none() {
+            self.routing.insert(req.id, inst);
+        }
         Some(inst)
     }
 }
@@ -102,26 +141,99 @@ impl Scheduler for IndependentInstancesScheduler {
             }
         }
 
+        // Memory-pressure handling (when enabled): evict victims above the
+        // high watermark, re-admit swapped requests below the low one, and
+        // pause new admissions while pressured. With the tier disabled this
+        // whole block is skipped and scheduling is bit-for-bit the
+        // golden-pinned baseline.
+        let mut admit = true;
+        let mut budget_left = u64::MAX;
+        if let Some(cfg) = self.pressure {
+            let mut pa = pressure_actions_with_rescue(view, &cfg);
+            // Strict locality: a restored KV cache must land whole on one
+            // instance (these baselines decode each request on the single
+            // instance holding its KV), so rewrite the generic multi-target
+            // swap-ins to the emptiest instance with room — or defer the
+            // re-admission if no single instance fits yet. The oversize
+            // reject above bounds a request's demand by one instance's
+            // capacity, so a deferred swap-in always fits eventually.
+            pa.retain_mut(|a| {
+                let Action::SwapIn { request, targets } = a else {
+                    return true;
+                };
+                let tokens = view.pool.swapped_tokens_of(*request);
+                let mut best: Option<(InstanceId, u64)> = None;
+                for &(inst, free) in &view.pool.free_slots() {
+                    // Keep high-watermark headroom on the chosen replica
+                    // (an empty replica always qualifies) so the restored
+                    // request does not immediately re-create the pressure
+                    // that evicted it.
+                    let pool_i = view.pool.instance(inst);
+                    let head = (cfg.high_watermark * pool_i.capacity() as f64).floor() as u64;
+                    let fits =
+                        free >= tokens && (pool_i.used() + tokens <= head || pool_i.used() == 0);
+                    if fits && best.map(|(_, b)| free > b).unwrap_or(true) {
+                        best = Some((inst, free));
+                    }
+                }
+                match best {
+                    Some((inst, _)) => {
+                        *targets = vec![inst];
+                        true
+                    }
+                    None => false,
+                }
+            });
+            actions.extend(pa);
+            admit = !cfg.admission_paused(view);
+            budget_left = cfg.admission_budget(view);
+        }
+
         // Route pending requests and gather per-instance prefill batches.
         let mut prefill_per_instance: BTreeMap<InstanceId, Vec<RequestId>> = BTreeMap::new();
         let mut budget_per_instance: HashMap<InstanceId, u64> = HashMap::new();
         let mut tokens_per_instance: HashMap<InstanceId, u64> = HashMap::new();
         for req in view.pending {
+            if !admit {
+                break;
+            }
+            let needed = self.reserved(req);
             let Some(inst) = self.route(view, req) else {
                 continue;
             };
             if !view.idle_instances.contains(&inst) {
                 continue;
             }
-            let budget = budget_per_instance
-                .entry(inst)
-                .or_insert_with(|| view.pool.instance(inst).free());
+            // Under pressure, per-instance admission stops at the low
+            // watermark: the [low, high] band is decode-growth headroom
+            // here exactly as it is pool-globally, so a re-admitted
+            // eviction victim cannot refill its replica to 100% and
+            // recreate the stall it was evicted to clear.
+            let budget = budget_per_instance.entry(inst).or_insert_with(|| {
+                let pool_i = view.pool.instance(inst);
+                match &self.pressure {
+                    None => pool_i.free(),
+                    Some(cfg) => {
+                        let target = (cfg.low_watermark * pool_i.capacity() as f64).floor() as u64;
+                        target.saturating_sub(pool_i.used())
+                    }
+                }
+            });
             let tokens = tokens_per_instance.entry(inst).or_insert(0);
-            let needed = req.input_len + req.max_output_len;
-            if *tokens >= saturation || needed > *budget {
+            // A completely empty instance admits its first request of the
+            // round on physical capacity alone: the watermark budget would
+            // otherwise starve any request larger than the low-watermark
+            // band forever, even with the whole replica drained. A sole
+            // resident always fits to completion (the oversize reject
+            // bounds input + max_output by one instance's capacity).
+            let empty_bypass = *tokens == 0 && view.pool.instance(inst).used() == 0;
+            let affordable = (needed <= *budget && needed <= budget_left)
+                || (empty_bypass && needed <= view.pool.instance(inst).free());
+            if *tokens >= saturation || !affordable {
                 continue;
             }
-            *budget -= needed;
+            *budget = budget.saturating_sub(needed);
+            budget_left = budget_left.saturating_sub(needed);
             *tokens += req.input_len;
             prefill_per_instance.entry(inst).or_default().push(req.id);
         }
@@ -147,7 +259,19 @@ impl Scheduler for IndependentInstancesScheduler {
             }
             decode_per_instance.entry(inst).or_default().push(d.id);
         }
-        for (inst, requests) in decode_per_instance {
+        for (inst, mut requests) in decode_per_instance {
+            // Under optimistic admission an instance can hold fewer free
+            // slots than ready residents; decode the FCFS-oldest subset
+            // that fits, rather than emitting a batch whose plan fails
+            // wholesale and advances nobody. (Pressure off keeps the full
+            // batch: conservative reservation guarantees the slots.)
+            if self.pressure.is_some() {
+                let free = view.pool.instance(inst).free() as usize;
+                if free == 0 {
+                    continue;
+                }
+                requests.truncate(free);
+            }
             actions.push(Action::Decode {
                 instances: vec![inst],
                 masters: vec![inst],
@@ -200,6 +324,7 @@ mod tests {
             now: SimTime::ZERO,
             pending: &f.pending,
             decoding: &f.decoding,
+            swapped: &[],
             idle_instances: &f.idle,
             busy_instances: &[],
             pool: &f.pool,
@@ -291,6 +416,64 @@ mod tests {
         let mut s = IndependentInstancesScheduler::vllm();
         let actions = s.schedule(&view(&f));
         assert!(actions.iter().any(|a| matches!(a, Action::Decode { .. })));
+    }
+
+    #[test]
+    fn swap_in_is_rewritten_to_a_single_replica_or_deferred() {
+        use crate::pressure::PressureConfig;
+        use crate::types::SwappedRequest;
+        // Two replicas with 600 and 500 free slots; a 900-token swapped
+        // request must NOT be split across them (strict locality): the
+        // swap-in is deferred until one replica can hold it whole.
+        let mut f = fixture(2);
+        // Registry has four TP=2 instances; give the last two zero slots so
+        // only two replicas matter for placement.
+        f.pool = UnifiedKvPool::with_capacities(&[1_000, 1_000, 0, 0]);
+        f.pool.enable_host_tier(10_000);
+        f.pool
+            .append(RequestId(0), InstanceId(0), 900)
+            .expect("room");
+        f.pool.swap_out(RequestId(0)).expect("host room");
+        f.pool
+            .append(RequestId(1), InstanceId(0), 400)
+            .expect("room");
+        f.pool
+            .append(RequestId(2), InstanceId(1), 500)
+            .expect("room");
+        f.idle = vec![InstanceId(0), InstanceId(1)];
+        let swapped = [SwappedRequest {
+            id: RequestId(0),
+            context_len: 900,
+            generated: 1,
+            tokens: 900,
+        }];
+        let mut v = view(&f);
+        v.swapped = &swapped;
+        let mut s = IndependentInstancesScheduler::replicated()
+            .with_pressure(PressureConfig::swap_to_host());
+        let actions = s.schedule(&v);
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::SwapIn { .. })),
+            "no single replica fits 900 tokens: the swap-in must be deferred"
+        );
+
+        // Free instance 1 entirely: the swap-in now targets exactly it.
+        f.pool.release(RequestId(2));
+        let mut v = view(&f);
+        v.swapped = &swapped;
+        let actions = s.schedule(&v);
+        let targets = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SwapIn { request, targets } if *request == RequestId(0) => Some(targets),
+                _ => None,
+            })
+            .expect("swap-in emitted");
+        assert_eq!(
+            targets,
+            &vec![InstanceId(1)],
+            "whole request on one replica"
+        );
     }
 
     #[test]

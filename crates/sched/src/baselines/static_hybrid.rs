@@ -136,6 +136,7 @@ mod tests {
             now: SimTime::ZERO,
             pending: &f.pending,
             decoding: &f.decoding,
+            swapped: &[],
             idle_instances: &f.idle,
             busy_instances: &[],
             pool: &f.pool,

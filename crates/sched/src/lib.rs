@@ -11,6 +11,8 @@
 //! * [`baselines`] — vLLM-style static tensor parallelism, chunked prefill
 //!   (DeepSpeed-MII / LightLLM SplitFuse), DistServe-style prefill–decode
 //!   disaggregation, static hybrid TP×SP, and replicated instances,
+//! * [`pressure`] — memory-pressure policies: watermark-driven victim
+//!   selection (preempt-and-recompute vs swap-to-host) and re-admission,
 //! * [`router`] — the fleet tier's cluster router: deterministic policies
 //!   (round-robin, join-shortest-queue, least-KV-load,
 //!   power-of-two-choices) assigning arriving requests to replicas.
@@ -31,6 +33,7 @@
 
 pub mod baselines;
 pub mod manager;
+pub mod pressure;
 pub mod router;
 pub mod types;
 
@@ -38,10 +41,13 @@ pub use baselines::{
     DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler, StaticHybridScheduler,
 };
 pub use manager::{LoongServeConfig, LoongServeScheduler};
+pub use pressure::{
+    pressure_actions, pressure_actions_with_rescue, PressureConfig, PressurePolicy,
+};
 pub use router::{FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy};
 pub use types::{
     Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
-    SchedulerView,
+    SchedulerView, SwappedRequest,
 };
 
 /// Convenient glob-import of the most commonly used types.
@@ -51,9 +57,12 @@ pub mod prelude {
         StaticHybridScheduler,
     };
     pub use crate::manager::{LoongServeConfig, LoongServeScheduler};
+    pub use crate::pressure::{
+        pressure_actions, pressure_actions_with_rescue, PressureConfig, PressurePolicy,
+    };
     pub use crate::router::{FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy};
     pub use crate::types::{
         Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
-        SchedulerView,
+        SchedulerView, SwappedRequest,
     };
 }

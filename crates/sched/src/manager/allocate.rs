@@ -177,6 +177,7 @@ mod tests {
             now: SimTime::ZERO,
             pending: &f.pending,
             decoding: &[],
+            swapped: &[],
             idle_instances: idle,
             busy_instances: &[],
             pool: &f.pool,

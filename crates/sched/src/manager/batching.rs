@@ -242,6 +242,7 @@ mod tests {
             now: SimTime::ZERO,
             pending: &f.pending,
             decoding: &[],
+            swapped: &[],
             idle_instances: &[],
             busy_instances: &[],
             pool: &f.pool,

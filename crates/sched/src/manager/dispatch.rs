@@ -41,8 +41,23 @@ pub struct DispatchDecision {
 /// slots for future growth. 1.0 reserves the full declared bound.
 const OUTPUT_RESERVE_FACTOR: f64 = 1.0;
 
-/// Runs the dispatching step.
+/// Runs the dispatching step with the conservative full-output reservation
+/// (no admitted request can ever be evicted).
 pub fn dispatch(view: &SchedulerView<'_>) -> DispatchDecision {
+    dispatch_with_reserve(view, OUTPUT_RESERVE_FACTOR, u64::MAX)
+}
+
+/// Runs the dispatching step reserving only `output_reserve_factor` of each
+/// request's declared output bound (plus at least one slot). Factors below
+/// 1.0 admit optimistically — decode growth can then exhaust the pool, which
+/// is exactly the regime the memory-pressure policies handle.
+/// `admission_budget` caps the total slots this round may commit (pressure
+/// watermark headroom); `u64::MAX` means uncapped.
+pub fn dispatch_with_reserve(
+    view: &SchedulerView<'_>,
+    output_reserve_factor: f64,
+    admission_budget: u64,
+) -> DispatchDecision {
     // Partition the idle instances into "freely usable" and
     // "decode-hosting". An instance whose resident decode work is light —
     // short contexts that a prefill iteration delays by at most a few tens
@@ -81,7 +96,10 @@ pub fn dispatch(view: &SchedulerView<'_>) -> DispatchDecision {
         };
     }
 
-    let mut free_slots = view.free_slots_on(&candidate_instances);
+    let mut free_slots = view
+        .free_slots_on(&candidate_instances)
+        .min(admission_budget);
+    let mut budget_left = admission_budget;
     let saturation = saturation_tokens(view, candidate_instances.len().max(1));
     let mut remaining: Vec<&PendingRequest> = view.pending.iter().collect();
 
@@ -90,9 +108,10 @@ pub fn dispatch(view: &SchedulerView<'_>) -> DispatchDecision {
         if admitted_lens.iter().sum::<u64>() >= saturation {
             return true;
         }
-        let reserve = reserved_slots(req);
+        let reserve = reserved_slots(req, output_reserve_factor);
         if reserve <= free_slots && !candidate_instances.is_empty() {
             free_slots -= reserve;
+            budget_left -= reserve;
             admitted.push(req.id);
             admitted_lens.push(req.input_len);
             false
@@ -115,15 +134,16 @@ pub fn dispatch(view: &SchedulerView<'_>) -> DispatchDecision {
             }
             let extra_free: u64 = view.free_slots_on(&group.instances);
             // Which of the remaining requests could be admitted using this
-            // group's spare slots (on top of any slots still free)?
-            let mut extra_budget = free_slots + extra_free;
+            // group's spare slots (on top of any slots still free), within
+            // what is left of the admission budget?
+            let mut extra_budget = (free_slots + extra_free).min(budget_left);
             let mut extra_requests: Vec<&PendingRequest> = Vec::new();
             let mut extra_tokens = 0u64;
             for req in &remaining {
                 if admitted_lens.iter().sum::<u64>() + extra_tokens >= saturation {
                     break;
                 }
-                let reserve = reserved_slots(req);
+                let reserve = reserved_slots(req, output_reserve_factor);
                 if reserve <= extra_budget {
                     extra_budget -= reserve;
                     extra_tokens += req.input_len;
@@ -186,7 +206,9 @@ pub fn dispatch(view: &SchedulerView<'_>) -> DispatchDecision {
                 // Borrow this hosting set.
                 free_slots += extra_free;
                 for req in &extra_requests {
-                    free_slots = free_slots.saturating_sub(reserved_slots(req));
+                    let reserve = reserved_slots(req, output_reserve_factor);
+                    free_slots = free_slots.saturating_sub(reserve);
+                    budget_left = budget_left.saturating_sub(reserve);
                     admitted.push(req.id);
                     admitted_lens.push(req.input_len);
                 }
@@ -205,11 +227,13 @@ pub fn dispatch(view: &SchedulerView<'_>) -> DispatchDecision {
     }
 }
 
-/// KV slots to reserve for a request: its prompt plus its declared output
-/// bound (the dispatcher avoids admissions that could force future
-/// evictions, §5.1).
-fn reserved_slots(req: &PendingRequest) -> u64 {
-    req.input_len + (req.max_output_len as f64 * OUTPUT_RESERVE_FACTOR).ceil() as u64
+/// KV slots to reserve for a request: its prompt plus `factor` of its
+/// declared output bound (with at least one slot for the first generated
+/// token). At factor 1.0 the dispatcher avoids admissions that could force
+/// future evictions, §5.1; below 1.0 eviction becomes the pressure
+/// policies' problem.
+fn reserved_slots(req: &PendingRequest, factor: f64) -> u64 {
+    req.input_len + ((req.max_output_len as f64 * factor).ceil() as u64).max(1)
 }
 
 /// The prefill tipping point in tokens for a group of `instances` instances.
@@ -343,6 +367,7 @@ mod tests {
             now: SimTime::ZERO,
             pending,
             decoding,
+            swapped: &[],
             idle_instances: idle,
             busy_instances: &[],
             pool: &f.pool,

@@ -10,6 +10,7 @@ pub mod batching;
 pub mod dispatch;
 pub mod scaling;
 
+use crate::pressure::{pressure_actions, PressureConfig};
 use crate::types::{
     Action, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler, SchedulerView,
 };
@@ -41,6 +42,10 @@ impl Default for LoongServeConfig {
 pub struct LoongServeScheduler {
     config: LoongServeConfig,
     events: Vec<ScalingEvent>,
+    /// Memory-pressure handling. `None` (the default) keeps the
+    /// conservative full-output reservation in dispatching and never emits
+    /// pressure actions — the golden-pinned behaviour.
+    pressure: Option<PressureConfig>,
 }
 
 impl LoongServeScheduler {
@@ -54,7 +59,22 @@ impl LoongServeScheduler {
         LoongServeScheduler {
             config,
             events: Vec::new(),
+            pressure: None,
         }
+    }
+
+    /// Enables memory-pressure handling: the dispatcher reserves only the
+    /// configured fraction of each declared output bound (optimistic
+    /// admission), victims are evicted per the config's policy above the
+    /// high watermark, and swapped requests re-admit below the low one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails validation.
+    pub fn with_pressure(mut self, pressure: PressureConfig) -> Self {
+        pressure.validate().expect("valid pressure config");
+        self.pressure = Some(pressure);
+        self
     }
 
     /// The active configuration.
@@ -95,8 +115,40 @@ impl Scheduler for LoongServeScheduler {
             }
         }
 
+        // Memory-pressure handling (when enabled): evict victims above the
+        // high watermark, re-admit swapped requests below the low one, and
+        // pause dispatching while pressured. With the tier disabled this
+        // block is skipped and scheduling is bit-for-bit the golden-pinned
+        // manager.
+        let mut reserve_factor = 1.0;
+        let mut admission_budget = u64::MAX;
+        let mut admit = true;
+        if let Some(cfg) = self.pressure {
+            actions.extend(pressure_actions(view, &cfg));
+            reserve_factor = cfg.output_reserve_factor;
+            admission_budget = cfg.admission_budget(view);
+            admit = !cfg.admission_paused(view);
+            // An empty pool admits at least the FCFS head on physical
+            // capacity alone: the watermark budget would otherwise starve
+            // any request larger than the low-watermark band forever.
+            if view.pool.total_used() == 0 {
+                if let Some(head) = view.pending.first() {
+                    admission_budget = admission_budget
+                        .max(cfg.admission_reserve(head.input_len, head.max_output_len));
+                }
+            }
+        }
+
         // Step 1: dispatching.
-        let dispatch_decision = dispatch::dispatch(view);
+        let dispatch_decision = if admit {
+            dispatch::dispatch_with_reserve(view, reserve_factor, admission_budget)
+        } else {
+            dispatch::DispatchDecision {
+                admitted: Vec::new(),
+                candidate_instances: Vec::new(),
+                delayed_decodes: Vec::new(),
+            }
+        };
         let admitted_info: Vec<(RequestId, u64, u64)> = dispatch_decision
             .admitted
             .iter()
@@ -256,6 +308,7 @@ mod tests {
             now: SimTime::ZERO,
             pending: &f.pending,
             decoding: &f.decoding,
+            swapped: &[],
             idle_instances: &f.idle,
             busy_instances: &[],
             pool: &f.pool,

@@ -58,6 +58,20 @@ pub struct DecodingRequest {
     pub kv_instances: Vec<InstanceId>,
 }
 
+/// A request whose KV cache is parked on the host-DRAM swap tier, waiting
+/// for memory pressure to clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwappedRequest {
+    /// The request.
+    pub id: RequestId,
+    /// Context length (prompt + generated) at the time it was swapped out.
+    pub context_len: u64,
+    /// Output tokens generated before the swap-out.
+    pub generated: u64,
+    /// KV tokens parked on the host tier.
+    pub tokens: u64,
+}
+
 /// Everything a scheduler may observe when making a decision.
 pub struct SchedulerView<'a> {
     /// Current simulated time.
@@ -66,6 +80,9 @@ pub struct SchedulerView<'a> {
     pub pending: &'a [PendingRequest],
     /// Decode-phase requests ready for their next iteration.
     pub decoding: &'a [DecodingRequest],
+    /// Requests parked on the host swap tier, in admission order. Always
+    /// empty when the host tier is disabled.
+    pub swapped: &'a [SwappedRequest],
     /// Instances with no iteration in flight.
     pub idle_instances: &'a [InstanceId],
     /// Instances currently executing, with the time their iteration ends.
@@ -96,6 +113,8 @@ pub struct ViewScratch {
     pub pending: Vec<PendingRequest>,
     /// Decode-ready requests, in arrival order.
     pub decoding: Vec<DecodingRequest>,
+    /// Swapped-out requests, in arrival order.
+    pub swapped: Vec<SwappedRequest>,
     /// Idle instances, sorted by id.
     pub idle: Vec<InstanceId>,
     /// Busy instances with their completion times, sorted by id.
@@ -112,6 +131,7 @@ impl ViewScratch {
     pub fn clear(&mut self) {
         self.pending.clear();
         self.decoding.clear();
+        self.swapped.clear();
         self.idle.clear();
         self.busy.clear();
     }
@@ -131,6 +151,7 @@ impl ViewScratch {
             now,
             pending: &self.pending,
             decoding: &self.decoding,
+            swapped: &self.swapped,
             idle_instances: &self.idle,
             busy_instances: &self.busy,
             pool,
@@ -158,6 +179,22 @@ impl SchedulerView<'_> {
             .iter()
             .filter(|d| d.kv_instances.iter().any(|i| instances.contains(i)))
             .collect()
+    }
+
+    /// Device KV pool utilisation in `[0, 1]` — the primary pressure signal
+    /// watermark policies compare against.
+    pub fn kv_utilization(&self) -> f64 {
+        self.pool.device_utilization()
+    }
+
+    /// Free slots on the host swap tier (zero when the tier is disabled).
+    pub fn host_free_slots(&self) -> u64 {
+        self.pool.host().map(|h| h.free()).unwrap_or(0)
+    }
+
+    /// Tokens currently parked on the host swap tier.
+    pub fn swapped_tokens(&self) -> u64 {
+        self.pool.total_swapped()
     }
 }
 
@@ -214,6 +251,29 @@ pub enum Action {
         request: RequestId,
         /// Human-readable reason recorded in the run report.
         reason: String,
+    },
+    /// Evict a decode-phase request under memory pressure by discarding its
+    /// KV cache entirely; the request re-enters the pending queue and is
+    /// recomputed from the prompt (the vLLM-style recompute policy).
+    Preempt {
+        /// The evicted request (must be decode-ready).
+        request: RequestId,
+    },
+    /// Evict a decode-phase request to the host-DRAM swap tier; its KV is
+    /// preserved and restored — no recompute — once pressure clears. The
+    /// engine charges the D2H transfer on the PCIe host link.
+    SwapOut {
+        /// The evicted request (must be decode-ready).
+        request: RequestId,
+    },
+    /// Restore a swapped-out request's KV from the host tier onto `targets`
+    /// (the engine plans the token-level placement). The engine charges the
+    /// H2D transfer on the PCIe host link.
+    SwapIn {
+        /// The request to restore (must be swapped out).
+        request: RequestId,
+        /// Candidate instances for the restored KV placement.
+        targets: Vec<InstanceId>,
     },
 }
 

@@ -53,19 +53,23 @@ pub enum PhaseClass {
     DecodeReady,
     /// An iteration or migration is executing; appears in no view.
     InFlight,
+    /// Evicted to the host-DRAM swap tier; appears in the swapped view and
+    /// waits there until memory pressure clears.
+    Swapped,
     /// Finished or rejected; appears in no view and never transitions again.
     Done,
 }
 
 impl PhaseClass {
-    const COUNT: usize = 4;
+    const COUNT: usize = 5;
 
     fn index(self) -> usize {
         match self {
             PhaseClass::Pending => 0,
             PhaseClass::DecodeReady => 1,
             PhaseClass::InFlight => 2,
-            PhaseClass::Done => 3,
+            PhaseClass::Swapped => 3,
+            PhaseClass::Done => 4,
         }
     }
 }

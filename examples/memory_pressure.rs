@@ -1,0 +1,141 @@
+//! Recompute vs swap under a bursty overload.
+//!
+//! Runs the same MMPP overload trace through four configurations of a
+//! deliberately KV-starved cluster: the vLLM-style baseline with
+//! preempt-and-recompute, the LoongServe manager with the host-DRAM swap
+//! tier, and (for reference) each system with pressure handling off.
+//! The queue-only rows demonstrate the gap the subsystem closes: per-round
+//! admission reservations are forgotten across scheduling rounds, the pool
+//! silently over-fills, decode iterations can no longer append KV, and the
+//! run wedges with almost nothing completed. Prints a small comparison
+//! table.
+//!
+//! Run with `cargo run --release --example memory_pressure`.
+
+use loongserve::prelude::*;
+
+/// Total KV slots across the node: a small fraction of the real budget, so
+/// the burst actually exhausts memory.
+const CAPACITY: u64 = 6_000;
+const COUNT: usize = 160;
+const SEED: u64 = 77;
+
+fn arrivals() -> ArrivalProcess {
+    ArrivalProcess::MarkovModulated {
+        rate_high: 40.0,
+        rate_low: 2.0,
+        mean_high_secs: 3.0,
+        mean_low_secs: 3.0,
+    }
+}
+
+fn overload_trace() -> Trace {
+    let mut rng = SimRng::seed(SEED);
+    Trace::generate(DatasetKind::ShareGpt, arrivals(), COUNT, &mut rng)
+}
+
+struct Row {
+    label: &'static str,
+    summary: RunSummary,
+    outcome: RunOutcome,
+}
+
+fn run(label: &'static str, kind: SystemKind, mode: PressureMode, trace: &Trace) -> Row {
+    // vLLM concentrates the node in one TP=8 instance, LoongServe splits it
+    // into four TP=2 instances; scale the per-instance override so both see
+    // the same total pool.
+    let instances = (8 / kind.tp(8)).max(1) as u64;
+    let system = SystemUnderTest::paper_single_node(kind)
+        .with_pressure(mode)
+        .with_kv_capacity(CAPACITY / instances);
+    let mut engine = system.build_engine(Some(trace));
+    let outcome = engine.run(trace);
+    let summary = RunSummary::from_records(
+        label,
+        "ShareGPT burst",
+        arrivals().mean_rate(),
+        &outcome.records,
+        &SloSpec::default_for_lwm(),
+    )
+    .with_pressure(outcome.pressure);
+    Row {
+        label,
+        summary,
+        outcome,
+    }
+}
+
+fn main() {
+    let trace = overload_trace();
+    println!(
+        "Memory pressure under a bursty MMPP overload: {} ShareGPT requests,\n\
+         40 req/s bursts, {CAPACITY} total KV slots (~3% of the real budget)\n",
+        trace.len()
+    );
+
+    let rows = vec![
+        run(
+            "vLLM, queue-only",
+            SystemKind::Vllm,
+            PressureMode::Off,
+            &trace,
+        ),
+        run(
+            "vLLM, preempt+recompute",
+            SystemKind::Vllm,
+            PressureMode::Recompute,
+            &trace,
+        ),
+        run(
+            "LoongServe, queue-only",
+            SystemKind::LoongServe,
+            PressureMode::Off,
+            &trace,
+        ),
+        run(
+            "LoongServe, swap-to-host",
+            SystemKind::LoongServe,
+            PressureMode::SwapToHost,
+            &trace,
+        ),
+    ];
+
+    println!(
+        "| {:<24} | {:>5} | {:>9} | {:>8} | {:>9} | {:>8} | {:>8} | {:>10} |",
+        "policy", "done", "makespan", "preempt", "swaps", "swap GB", "stall s", "p50 s/tok"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(26),
+        "-".repeat(7),
+        "-".repeat(11),
+        "-".repeat(10),
+        "-".repeat(11),
+        "-".repeat(10),
+        "-".repeat(10),
+        "-".repeat(12)
+    );
+    for row in &rows {
+        let p = &row.outcome.pressure;
+        println!(
+            "| {:<24} | {:>5} | {:>8.1}s | {:>8} | {:>4}/{:>4} | {:>8.2} | {:>8.3} | {:>10.4} |",
+            row.label,
+            row.summary.completed,
+            row.summary.makespan_s,
+            p.preemptions,
+            p.swap_out_events,
+            p.swap_in_events,
+            p.swap_bytes_total() / 1e9,
+            p.swap_stall_s,
+            row.summary.per_token_latency.p50,
+        );
+    }
+
+    println!(
+        "\nBoth pressure policies drain the full overload; recompute pays\n\
+         re-prefill FLOPs, swap pays PCIe transfer time and host DRAM. The\n\
+         queue-only rows wedge almost immediately: with no eviction path the\n\
+         over-filled pool can never append decode KV again, which is the gap\n\
+         this subsystem exists to close."
+    );
+}

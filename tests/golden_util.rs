@@ -66,6 +66,20 @@ impl Digest {
         self.word(outcome.iterations);
         self.word(outcome.migration_bytes.to_bits());
         self.word(outcome.scheduler_calls);
+        // The pressure block participates only when the run actually
+        // experienced pressure: an unpressured run must keep reproducing
+        // the pre-subsystem digests bit for bit (the zero-cost-when-
+        // disabled invariant the golden constants pin), while pressured
+        // runs still pin every counter.
+        if !outcome.pressure.is_zero() {
+            self.word(outcome.pressure.preemptions);
+            self.word(outcome.pressure.swap_out_events);
+            self.word(outcome.pressure.swap_in_events);
+            self.word(outcome.pressure.swap_out_bytes.to_bits());
+            self.word(outcome.pressure.swap_in_bytes.to_bits());
+            self.word(outcome.pressure.swap_stall_s.to_bits());
+            self.word(outcome.pressure.max_outstanding_swapped_tokens);
+        }
     }
 }
 

@@ -67,13 +67,16 @@ proptest! {
         }
     }
 
-    /// The unified pool's bookkeeping stays consistent under arbitrary
-    /// sequences of allocations, appends, migrations and releases.
+    /// The unified pool's bookkeeping — both residency indexes and the
+    /// host swap tier — stays consistent under arbitrary interleavings of
+    /// commit/append/migrate/release/swap_out/swap_in/drain.
     #[test]
     fn unified_pool_invariants_hold_under_random_operations(
-        ops in proptest::collection::vec((0u8..4, 0u64..6, 0u64..4, 1u64..5_000), 1..60)
+        ops in proptest::collection::vec((0u8..7, 0u64..6, 0u64..4, 1u64..5_000), 1..80)
     ) {
         let mut pool = UnifiedKvPool::new(4, 20_000);
+        pool.enable_host_tier(30_000);
+        let all: Vec<InstanceId> = (0..4u64).map(InstanceId).collect();
         let mut live: Vec<RequestId> = Vec::new();
         for (op, req_raw, inst_raw, tokens) in ops {
             let req = RequestId(req_raw);
@@ -86,7 +89,12 @@ proptest! {
                 }
                 1 => {
                     let _ = pool.release(req);
-                    live.retain(|r| *r != req);
+                    // Device-side release does not touch the host tier; a
+                    // swapped request stays live until the cleanup pass
+                    // swaps it back in.
+                    if pool.swapped_tokens_of(req) == 0 {
+                        live.retain(|r| *r != req);
+                    }
                 }
                 2 => {
                     let to = InstanceId((inst_raw + 1) % 4);
@@ -95,19 +103,46 @@ proptest! {
                         let _ = pool.migrate(req, inst, to, held.min(tokens));
                     }
                 }
-                _ => {
+                3 => {
                     let _ = pool.drain_instance(req, inst);
+                }
+                4 => {
+                    // A committed plan covers `tokens` across every instance.
+                    if let Some(plan) = pool.plan(req, tokens, &all, PlacementStrategy::Balanced) {
+                        if pool.commit(&plan).is_ok() && !live.contains(&req) {
+                            live.push(req);
+                        }
+                    }
+                }
+                5 => {
+                    let _ = pool.swap_out(req);
+                }
+                _ => {
+                    let _ = pool.swap_in(req, &all, PlacementStrategy::PackMostFree);
                 }
             }
             prop_assert!(pool.check_invariants().is_ok());
             prop_assert!(pool.total_used() + pool.total_free() == pool.total_capacity());
+            // Whole-request swap granularity: never split across tiers.
+            for &r in &live {
+                prop_assert!(
+                    pool.tokens_of(r) == 0 || pool.swapped_tokens_of(r) == 0,
+                    "request split across device and host tiers"
+                );
+            }
         }
-        // Releasing everything returns the pool to empty.
+        // Releasing everything (device and host side) empties both tiers.
         for req in live {
             pool.release(req);
+            if pool.swapped_tokens_of(req) > 0 {
+                pool.swap_in(req, &all, PlacementStrategy::PackMostFree)
+                    .expect("everything else was released, so the device has room");
+                pool.release(req);
+            }
         }
         let leftover: u64 = pool.resident_requests().iter().map(|&r| pool.tokens_of(r)).sum();
         prop_assert_eq!(pool.total_used(), leftover);
+        prop_assert_eq!(pool.total_swapped(), 0);
     }
 
     /// Iteration costs are positive, finite, and monotone in batch size.

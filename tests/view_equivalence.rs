@@ -90,10 +90,11 @@ proptest! {
     fn request_table_matches_bruteforce_model(
         ops in proptest::collection::vec((0u64..12, 0usize..5), 1..200)
     ) {
-        const CLASSES: [PhaseClass; 4] = [
+        const CLASSES: [PhaseClass; 5] = [
             PhaseClass::Pending,
             PhaseClass::DecodeReady,
             PhaseClass::InFlight,
+            PhaseClass::Swapped,
             PhaseClass::Done,
         ];
         let mut table: RequestTable<u64> = RequestTable::new();
@@ -119,7 +120,7 @@ proptest! {
                     }
                 }
                 c if known => {
-                    let class = CLASSES[c % 4];
+                    let class = CLASSES[c % 5];
                     model.iter_mut().find(|(i, _, _)| *i == id).unwrap().2 = class;
                     table.set_class(id, class);
                 }
