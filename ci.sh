@@ -1,59 +1,91 @@
 #!/usr/bin/env bash
 # The full verification gate for LoongServe-RS. Run from the repo root.
 #
-#   ./ci.sh          # everything: build, tests, bench compile, clippy, fmt
+#   ./ci.sh          # everything: build, tests, bench gates, examples, clippy, fmt
 #   ./ci.sh quick    # just the tier-1 gate: release build + tests
+#
+# Every cargo invocation passes --locked so a drifted Cargo.lock fails loudly
+# instead of being silently regenerated, and the lockfile is checked for
+# byte-identity at the end. The perf smokes are gated machine-readably: each
+# bench's --smoke mode emits one BENCH_SMOKE_JSON line of deterministic
+# metrics that `cargo run -p xtask -- bench-gate BENCH_*.json` compares
+# against the checked-in reference within ±25%, printing the delta table.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
 
-step "cargo build --release"
-cargo build --release
+# Guard the lockfile: nothing below may rewrite it.
+lock_before=$(mktemp)
+cp Cargo.lock "$lock_before"
+check_lockfile() {
+    if ! cmp -s Cargo.lock "$lock_before"; then
+        echo "ci.sh: Cargo.lock changed during the run — commit the updated lockfile" >&2
+        exit 1
+    fi
+}
+trap 'rm -f "$lock_before"' EXIT
 
-step "cargo test -q"
-cargo test -q
+step "cargo build --release --locked"
+cargo build --release --locked
+
+step "cargo test --locked -q"
+cargo test --locked -q
 
 if [[ "${1:-}" == "quick" ]]; then
+    check_lockfile
     echo "quick gate passed"
     exit 0
 fi
 
-step "cargo bench --no-run (all figure/microbench targets compile)"
-cargo bench --no-run
+step "cargo bench --no-run --locked (all figure/microbench targets compile)"
+cargo bench --no-run --locked
 
-step "engine-scaling perf smoke (1k-request trace)"
-# Fails if the bench does not complete or stops printing its summary line;
-# the printed simulated-requests-per-wall-second makes regressions visible
-# in CI logs. Reference numbers live in BENCH_engine.json.
-smoke_out=$(cargo bench --bench engine_scaling -- --smoke)
-printf '%s\n' "$smoke_out"
-printf '%s\n' "$smoke_out" | grep -q "^ENGINE_SCALING requests=1000"
+step "build the bench gate"
+cargo build --release --locked -p xtask
 
-step "fleet-scaling perf smoke (800-request trace, 1 and 2 replicas)"
-# Mirrors the engine smoke: fails if the fleet bench stops printing its
-# 2-replica summary line. Reference numbers live in BENCH_fleet.json.
-fleet_out=$(cargo bench --bench fleet_scaling -- --smoke)
-printf '%s\n' "$fleet_out"
-printf '%s\n' "$fleet_out" | grep -q "^FLEET_SCALING replicas=2"
+# Runs one perf smoke: executes the bench in --smoke mode, shows its output,
+# greps the human summary line (fast failure diagnostics), then feeds the
+# BENCH_SMOKE_JSON line to the gate for the ±25% reference comparison.
+smoke_gate() {
+    local bench="$1" grep_pattern="$2" reference="$3"
+    local out
+    out=$(cargo bench --locked --bench "$bench" -- --smoke)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q "$grep_pattern"
+    printf '%s\n' "$out" | cargo run -q --release --locked -p xtask -- bench-gate "$reference"
+}
 
-step "kv-pressure smoke (120-request MMPP overload, both victim policies)"
-# Fails if either policy stops printing its summary line or leaves requests
-# unfinished (the no-deadlock/livelock property). Reference numbers live in
-# BENCH_pressure.json.
-pressure_out=$(cargo bench --bench kv_pressure -- --smoke)
-printf '%s\n' "$pressure_out"
-printf '%s\n' "$pressure_out" | grep -q "^KV_PRESSURE policy=recompute .*unfinished=0"
-printf '%s\n' "$pressure_out" | grep -q "^KV_PRESSURE policy=swap .*unfinished=0"
+step "engine-scaling perf smoke + gate (1k-request trace vs BENCH_engine.json)"
+smoke_gate engine_scaling "^ENGINE_SCALING requests=1000" BENCH_engine.json
 
-step "cargo build --examples"
-cargo build --examples
+step "fleet-scaling perf smoke + gate (800-request trace vs BENCH_fleet.json)"
+smoke_gate fleet_scaling "^FLEET_SCALING replicas=2" BENCH_fleet.json
 
-step "cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+step "kv-pressure smoke + gate (120-request MMPP overload vs BENCH_pressure.json)"
+smoke_gate kv_pressure "^KV_PRESSURE policy=swap .*unfinished=0" BENCH_pressure.json
+
+step "prefix-cache smoke + gate (100-conversation multi-turn trace vs BENCH_prefix.json)"
+smoke_gate prefix_cache "^PREFIX_CACHE .*unfinished=0" BENCH_prefix.json
+
+step "cargo build --examples --locked"
+cargo build --examples --locked
+
+step "run every example (small deterministic configs; a panicking example fails CI)"
+for example in quickstart compare_systems elastic_scaling_trace capacity_planning \
+               fleet_routing memory_pressure multi_turn_cache; do
+    echo "--- example: $example"
+    LOONG_SMOKE=1 cargo run -q --release --locked --example "$example" > /dev/null
+done
+
+step "cargo clippy --all-targets --locked -- -D warnings"
+cargo clippy --all-targets --locked -- -D warnings
 
 step "cargo fmt --check"
 cargo fmt --check
+
+step "Cargo.lock unchanged"
+check_lockfile
 
 echo
 echo "ci.sh: all gates passed"

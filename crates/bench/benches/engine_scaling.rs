@@ -93,6 +93,14 @@ fn main() {
             "ENGINE_SCALING requests={} simulated_requests_per_wall_second={:.1}",
             s.requests, s.req_per_wall_s
         );
+        if smoke {
+            // Machine-readable, wall-clock-free metrics for the bench gate
+            // (`cargo run -p xtask -- bench-gate BENCH_engine.json`).
+            println!(
+                "BENCH_SMOKE_JSON {{\"benchmark\":\"engine_scaling\",\"requests\":{},\"completed\":{},\"iterations\":{},\"scheduler_calls\":{},\"sim_s\":{:.3}}}",
+                s.requests, s.completed, s.iterations, s.scheduler_calls, s.sim_s
+            );
+        }
         csv.push_str(&format!(
             "{},{:.6},{:.3},{},{},{:.1}\n",
             s.requests, s.wall_s, s.sim_s, s.iterations, s.scheduler_calls, s.req_per_wall_s

@@ -89,6 +89,7 @@ fn main() {
         "replicas", "wall_s", "makespan_s", "completed", "throughput_rps", "speedup", "imbalance"
     );
     let mut base_throughput = None;
+    let mut samples: Vec<Sample> = Vec::new();
     for &replicas in sizes {
         let s = run_fleet(replicas, count);
         let base = *base_throughput.get_or_insert(s.throughput_rps);
@@ -106,6 +107,21 @@ fn main() {
             "{},{:.6},{:.3},{},{:.3},{:.3},{:.3}\n",
             s.replicas, s.wall_s, s.makespan_s, s.completed, s.throughput_rps, speedup, s.imbalance
         ));
+        samples.push(s);
+    }
+    if smoke {
+        // Machine-readable, wall-clock-free metrics for the bench gate
+        // (`cargo run -p xtask -- bench-gate BENCH_fleet.json`). Makespans
+        // are simulated seconds, so the 2-replica speedup is deterministic.
+        let one = &samples[0];
+        let two = &samples[1];
+        println!(
+            "BENCH_SMOKE_JSON {{\"benchmark\":\"fleet_scaling\",\"completed\":{},\"makespan_1_s\":{:.3},\"makespan_2_s\":{:.3},\"speedup_2\":{:.4}}}",
+            one.completed + two.completed,
+            one.makespan_s,
+            two.makespan_s,
+            one.makespan_s / two.makespan_s
+        );
     }
 
     let path = write_figure_csv("fleet_scaling.csv", &csv);

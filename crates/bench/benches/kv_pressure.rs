@@ -157,6 +157,17 @@ fn main() {
         ));
     }
 
+    if smoke {
+        // Machine-readable, wall-clock-free metrics for the bench gate
+        // (`cargo run -p xtask -- bench-gate BENCH_pressure.json`).
+        let r = &samples[0];
+        let w = &samples[1];
+        println!(
+            "BENCH_SMOKE_JSON {{\"benchmark\":\"kv_pressure\",\"recompute_completed\":{},\"recompute_unfinished\":{},\"recompute_preemptions\":{},\"swap_completed\":{},\"swap_unfinished\":{},\"swap_events\":{}}}",
+            r.completed, r.unfinished, r.preemptions, w.completed, w.unfinished, w.swap_events
+        );
+    }
+
     let path = write_figure_csv("kv_pressure.csv", &csv);
     println!("\nCSV written to {}", path.display());
 }

@@ -20,7 +20,9 @@ use loong_esp::instance::InstanceRegistry;
 use loong_esp::prefill::{execute_prefill, PrefillPlan, PrefillRequest};
 use loong_esp::scaling::migrate_request;
 use loong_kvcache::placement::PlacementStrategy;
+use loong_kvcache::prefix::{PrefixCacheConfig, PrefixDemand};
 use loong_kvcache::unified::UnifiedKvPool;
+use loong_metrics::cache::CacheStats;
 use loong_metrics::pressure::PressureStats;
 use loong_metrics::record::RequestRecord;
 use loong_model::config::ModelConfig;
@@ -63,6 +65,11 @@ pub struct EngineConfig {
     /// Per-instance KV slot capacity override for overload experiments;
     /// `None` computes the capacity from the memory budget as always.
     pub kv_capacity_override: Option<u64>,
+    /// The prefix-cache tier. `None` (the default) disables it: finished
+    /// requests release their KV exactly as before and no lookup, retention
+    /// or eviction code runs, keeping every run bit-for-bit on the
+    /// pre-tier path.
+    pub prefix_cache: Option<PrefixCacheConfig>,
 }
 
 /// Configuration of the host-DRAM KV swap tier.
@@ -118,6 +125,7 @@ impl EngineConfig {
             max_sim_time: None,
             host_swap: None,
             kv_capacity_override: None,
+            prefix_cache: None,
         }
     }
 
@@ -190,13 +198,25 @@ struct RequestState {
     /// semantics) and decoding resumes here rather than restarting — zero
     /// for never-preempted requests.
     resume_generated: u64,
+    /// Prompt tokens adopted from the prefix cache at prefill dispatch;
+    /// their KV was renamed in place, so the prefill processes (and is
+    /// charged for) only the remaining suffix. Reset to zero by a
+    /// preempt-and-recompute eviction, which discards the adopted KV along
+    /// with everything else. Always zero with the tier disabled.
+    reused: u64,
+    /// True while the request may still adopt its conversation's cached
+    /// prefix: set at arrival for conversation-tagged requests when the
+    /// tier is enabled, cleared at its first prefill dispatch (hit or
+    /// miss) or rejection. Mirrors one waiter pin in the prefix cache.
+    waiting: bool,
 }
 
 impl RequestState {
     /// The prompt the next prefill must process: the original input plus
-    /// any checkpointed output tokens whose KV a preemption discarded.
+    /// any checkpointed output tokens whose KV a preemption discarded,
+    /// minus tokens adopted from the prefix cache.
     fn effective_input(&self) -> u64 {
-        self.request.input_len + self.resume_generated
+        self.request.input_len + self.resume_generated - self.reused
     }
 
     /// The declared output bound still ahead of the checkpoint; shrinks
@@ -206,6 +226,36 @@ impl RequestState {
         self.request
             .max_output_len
             .saturating_sub(self.resume_generated)
+    }
+}
+
+/// Builds the scheduler-view entry for a pending request.
+///
+/// With the prefix cache enabled, the advertised `input_len` is the
+/// *uncached suffix*: the prompt tokens a prefill would actually have to
+/// process after adopting the conversation's retained prefix. Re-matching
+/// here — at every scheduling point — is what lets a follow-up that arrived
+/// while its previous turn was still decoding start hitting the cache the
+/// moment that turn finishes. Admission (KV reservation and the batching
+/// DP budget) therefore prices the suffix, not the full prompt; the cached
+/// tokens are already allocated in the pool. With the tier disabled the
+/// lookup short-circuits to zero and the entry is bit-for-bit the old one.
+fn pending_entry(s: &RequestState, prefilled: u64, pool: &UnifiedKvPool) -> PendingRequest {
+    let cached = if s.waiting {
+        let conversation = s
+            .request
+            .conversation
+            .expect("waiting requests have a conversation");
+        pool.prefix_match_len(conversation, s.effective_input())
+    } else {
+        0
+    };
+    PendingRequest {
+        id: s.request.id,
+        arrival: s.request.arrival,
+        input_len: s.effective_input() - cached,
+        prefilled_len: prefilled,
+        max_output_len: s.remaining_max_output(),
     }
 }
 
@@ -359,6 +409,17 @@ pub struct RunOutcome {
     /// traffic and stall time. All-zero whenever the run never crossed a
     /// pressure watermark.
     pub pressure: PressureStats,
+    /// Prefix-cache activity: lookups, adoptions, reused tokens, saved
+    /// prefill seconds and evictions. All-zero whenever the tier is
+    /// disabled.
+    pub cache: CacheStats,
+    /// Total prompt tokens processed by prefill and chunked-prefill
+    /// iterations. With the prefix cache enabled this counts only the
+    /// uncached suffixes, so on a multi-turn trace it is strictly smaller
+    /// than the cache-off figure (the reuse-correctness property pins
+    /// this). Fully determined by the iteration stream the golden digests
+    /// already pin, so it is not folded into them.
+    pub prefilled_tokens: u64,
 }
 
 /// The serving engine.
@@ -428,6 +489,11 @@ impl ServingEngine {
         if let Some(host) = &self.config.host_swap {
             pool.enable_host_tier(host.capacity_tokens);
         }
+        if let Some(prefix) = &self.config.prefix_cache {
+            pool.enable_prefix_cache(*prefix);
+        }
+        let cache_on = pool.prefix_enabled();
+        let mut cache_stats = CacheStats::default();
         let host_link = self.config.host_swap.as_ref().map(|h| h.link);
         // Whole-model KV footprint: a swapped token leaves every GPU shard.
         let kv_bytes_per_token = self.config.model.kv_bytes_per_token();
@@ -446,6 +512,8 @@ impl ServingEngine {
                     finish: None,
                     preemptions: 0,
                     resume_generated: 0,
+                    reused: 0,
+                    waiting: false,
                 },
             );
             queue.push(req.arrival, EngineEvent::Arrival(req.id));
@@ -458,6 +526,7 @@ impl ServingEngine {
         let mut iterations = 0u64;
         let mut migration_bytes = 0.0f64;
         let mut scheduler_calls = 0u64;
+        let mut prefilled_tokens = 0u64;
         let mut decode_stats = DecodeLatencyStats::default();
         // Reusable per-point buffers: the steady-state loop never allocates
         // them again.
@@ -484,6 +553,15 @@ impl ServingEngine {
                     // that orders every phase-index iteration.
                     EngineEvent::Arrival(id) => {
                         table.admit(id);
+                        if cache_on {
+                            let s = table.get_mut(id).expect("known request");
+                            if let Some(conversation) = s.request.conversation {
+                                // Pin the conversation's (current or future)
+                                // entry until this request's first prefill.
+                                s.waiting = true;
+                                pool.prefix_waiter_add(conversation);
+                            }
+                        }
                         #[cfg(debug_assertions)]
                         audit.on_arrival(id);
                     }
@@ -496,9 +574,36 @@ impl ServingEngine {
                             &mut pool,
                             &mut instances_state,
                             &mut decode_stats,
+                            &mut cache_stats,
                         );
                     }
                 }
+            }
+
+            // Prefix-cache housekeeping precedes the view so the scheduler
+            // sees the post-eviction free slots: watermark eviction keeps
+            // retained KV from crowding out admission, and head-of-queue
+            // headroom eviction guarantees the FCFS head can always reserve
+            // at least what it could reserve with the tier disabled (the
+            // no-livelock argument: cached entries can never starve the
+            // head, so cache-on runs complete whatever cache-off runs
+            // complete).
+            if cache_on {
+                let head = table.iter_class(PhaseClass::Pending).next().map(|id| {
+                    let s = table.get(id).expect("indexed request exists");
+                    PrefixDemand {
+                        conversation: if s.waiting {
+                            s.request.conversation
+                        } else {
+                            None
+                        },
+                        remaining_input: s.effective_input(),
+                        reserve_output: s.remaining_max_output().max(1),
+                    }
+                });
+                let (entries, tokens) = pool.prefix_evict_point(head);
+                cache_stats.evicted_entries += entries;
+                cache_stats.evicted_tokens += tokens;
             }
 
             // Scheduling point: assemble the view from the maintained
@@ -508,13 +613,9 @@ impl ServingEngine {
             for id in table.iter_class(PhaseClass::Pending) {
                 let s = table.get(id).expect("indexed request exists");
                 match s.phase {
-                    Phase::Pending { prefilled } => scratch.pending.push(PendingRequest {
-                        id,
-                        arrival: s.request.arrival,
-                        input_len: s.effective_input(),
-                        prefilled_len: prefilled,
-                        max_output_len: s.remaining_max_output(),
-                    }),
+                    Phase::Pending { prefilled } => {
+                        scratch.pending.push(pending_entry(s, prefilled, &pool))
+                    }
                     _ => unreachable!("pending index out of sync with phase"),
                 }
             }
@@ -579,6 +680,14 @@ impl ServingEngine {
                     Action::Reject { request, reason } => {
                         if let Some(s) = table.get(request) {
                             if matches!(s.phase, Phase::Pending { .. }) {
+                                if s.waiting {
+                                    let conversation = s
+                                        .request
+                                        .conversation
+                                        .expect("waiting requests have a conversation");
+                                    table.get_mut(request).expect("known request").waiting = false;
+                                    pool.prefix_waiter_drop(conversation);
+                                }
                                 set_phase(&mut table, request, Phase::Rejected);
                                 rejected.push((request, reason));
                             }
@@ -595,20 +704,82 @@ impl ServingEngine {
                         {
                             continue;
                         }
-                        let prefill_reqs: Vec<PrefillRequest> = requests
-                            .iter()
-                            .filter_map(|id| {
-                                let s = table.get(*id)?;
-                                matches!(s.phase, Phase::Pending { .. }).then(|| PrefillRequest {
-                                    id: *id,
-                                    // Recompute evictions re-prefill the
-                                    // checkpointed tokens too.
-                                    input_len: s.effective_input(),
-                                })
-                            })
-                            .collect();
+                        // Atomic match → reuse: each untouched request
+                        // consults the prefix index exactly once, at the
+                        // moment its prefill is dispatched, and a hit
+                        // renames the cached slots to it in place. The
+                        // prefill then processes (and the cost model
+                        // charges) only the uncached suffix — recompute
+                        // evictions still re-prefill their checkpointed
+                        // tokens too.
+                        let mut prefill_reqs: Vec<PrefillRequest> = Vec::new();
+                        // Per-request (suffix, adopted) pairs of this
+                        // batch's cache hits, for cost accounting below.
+                        let mut adopted: Vec<(u64, u64)> = Vec::new();
+                        for &id in &requests {
+                            let Some(s) = table.get(id) else { continue };
+                            if !matches!(s.phase, Phase::Pending { .. }) {
+                                continue;
+                            }
+                            if s.waiting {
+                                let conversation = s
+                                    .request
+                                    .conversation
+                                    .expect("waiting requests have a conversation");
+                                let s = table.get_mut(id).expect("known request");
+                                s.waiting = false;
+                                pool.prefix_waiter_drop(conversation);
+                                cache_stats.lookups += 1;
+                                let prompt = s.effective_input();
+                                if let Some(tokens) = pool.prefix_adopt(id, conversation, prompt) {
+                                    s.reused = tokens;
+                                    cache_stats.hits += 1;
+                                    cache_stats.reused_tokens += tokens;
+                                    adopted.push((prompt - tokens, tokens));
+                                }
+                            }
+                            let s = table.get(id).expect("known request");
+                            prefill_reqs.push(PrefillRequest {
+                                id,
+                                input_len: s.effective_input(),
+                            });
+                        }
                         if prefill_reqs.is_empty() {
                             continue;
+                        }
+                        if cache_on {
+                            // Admission counted reclaimable slots as free;
+                            // make good on it before planning the
+                            // retention placement.
+                            let needed: u64 = prefill_reqs.iter().map(|r| r.input_len).sum();
+                            let (e, t) = pool.prefix_evict_for_instances(&retain_on, needed);
+                            cache_stats.evicted_entries += e;
+                            cache_stats.evicted_tokens += t;
+                        }
+                        // Suffix prefills still attend over their adopted
+                        // context: charge the extra attention the plain
+                        // suffix cost omits (zero when nothing was
+                        // adopted), exactly as the chunked path spans its
+                        // chunk over the processed prefix.
+                        let mut context_surcharge_s = 0.0f64;
+                        if !adopted.is_empty() {
+                            let parallel = ParallelConfig::new(self.registry.tp(), instances.len());
+                            let link = self.registry.link_between(&instances);
+                            for &(suffix, reused) in &adopted {
+                                context_surcharge_s += self
+                                    .cost_model
+                                    .cached_context_attention_s(suffix, reused, parallel);
+                            }
+                            // Saved-prefill accounting: what prefilling the
+                            // adopted tokens would have cost on this group,
+                            // batched per request (attention is quadratic,
+                            // so lumping them would overstate the saving).
+                            let adopted_lens: Vec<u64> =
+                                adopted.iter().map(|&(_, tokens)| tokens).collect();
+                            cache_stats.saved_prefill_s += self
+                                .cost_model
+                                .prefill_cost(&adopted_lens, parallel, link)
+                                .total();
                         }
                         let group = EspGroup::new(group_ids.next(), instances.clone());
                         let plan = match PrefillPlan::build(group, prefill_reqs, retain_on, &pool) {
@@ -625,7 +796,9 @@ impl ServingEngine {
                             Err(_) => continue,
                         };
                         iterations += 1;
-                        let done = now + SimDuration::from_secs(outcome.cost.total());
+                        prefilled_tokens += outcome.retained_tokens;
+                        let done = now
+                            + SimDuration::from_secs(outcome.cost.total() + context_surcharge_s);
                         for &inst in &instances {
                             instances_state.dispatch(inst, done);
                             claimed.push(inst);
@@ -675,6 +848,25 @@ impl ServingEngine {
                             .collect();
                         if decode_batch.is_empty() {
                             continue;
+                        }
+                        if cache_on {
+                            // Each batched request appends one token on a
+                            // master, so headroom must exist on the master
+                            // set specifically — summing free slots over
+                            // the whole group could see room on non-master
+                            // instances, skip eviction, and leave a
+                            // cache-crowded master stalling its decodes
+                            // (the pressure rescue path defers to this
+                            // eviction for prefix-crowded instances).
+                            let evict_on: &[InstanceId] = if masters.is_empty() {
+                                &instances
+                            } else {
+                                &masters
+                            };
+                            let (e, t) = pool
+                                .prefix_evict_for_instances(evict_on, decode_batch.len() as u64);
+                            cache_stats.evicted_entries += e;
+                            cache_stats.evicted_tokens += t;
                         }
                         let group =
                             EspGroup::with_masters(group_ids.next(), instances.clone(), masters);
@@ -735,9 +927,44 @@ impl ServingEngine {
                         let Phase::Pending { prefilled } = state.phase else {
                             continue;
                         };
+                        // First chunk of an untouched request: the same
+                        // atomic match → reuse as the full-prefill path.
+                        if state.waiting {
+                            let conversation = state
+                                .request
+                                .conversation
+                                .expect("waiting requests have a conversation");
+                            let s = table.get_mut(prefill_request).expect("known request");
+                            s.waiting = false;
+                            pool.prefix_waiter_drop(conversation);
+                            cache_stats.lookups += 1;
+                            let prompt = s.effective_input();
+                            if let Some(tokens) =
+                                pool.prefix_adopt(prefill_request, conversation, prompt)
+                            {
+                                s.reused = tokens;
+                                cache_stats.hits += 1;
+                                cache_stats.reused_tokens += tokens;
+                                let parallel =
+                                    ParallelConfig::new(self.registry.tp(), instances.len());
+                                let link = self.registry.link_between(&instances);
+                                cache_stats.saved_prefill_s += self
+                                    .cost_model
+                                    .prefill_cost(&[tokens], parallel, link)
+                                    .total();
+                            }
+                        }
+                        let state = table.get(prefill_request).expect("known request");
+                        let reused = state.reused;
                         let chunk = chunk_tokens.min(state.effective_input() - prefilled);
                         if chunk == 0 {
                             continue;
+                        }
+                        if cache_on {
+                            let needed = chunk + decode_requests.len() as u64;
+                            let (e, t) = pool.prefix_evict_for_instances(&instances, needed);
+                            cache_stats.evicted_entries += e;
+                            cache_stats.evicted_tokens += t;
                         }
                         // Reserve KV for the chunk on the executing instances.
                         let Some(placement) = pool.plan(
@@ -774,14 +1001,18 @@ impl ServingEngine {
                         }
                         let parallel = ParallelConfig::new(self.registry.tp(), instances.len());
                         let link = self.registry.link_between(&instances);
+                        // Adopted tokens are real context: the chunk's
+                        // attention still spans them, it just skips their
+                        // KV computation (zero extra term when reused = 0).
                         let cost = self.cost_model.chunked_prefill_cost(
                             chunk,
-                            prefilled,
+                            prefilled + reused,
                             &decode_lens,
                             parallel,
                             link,
                         );
                         iterations += 1;
+                        prefilled_tokens += chunk;
                         let done = now + SimDuration::from_secs(cost.total());
                         for &inst in &instances {
                             instances_state.dispatch(inst, done);
@@ -823,6 +1054,12 @@ impl ServingEngine {
                             Phase::DecodeReady { generated } => generated,
                             _ => continue,
                         };
+                        if cache_on {
+                            let (e, t) =
+                                pool.prefix_evict_for_instances(&targets, pool.tokens_of(request));
+                            cache_stats.evicted_entries += e;
+                            cache_stats.evicted_tokens += t;
+                        }
                         match migrate_request(
                             request,
                             &targets,
@@ -860,6 +1097,9 @@ impl ServingEngine {
                         set_phase(&mut table, request, Phase::Pending { prefilled: 0 });
                         let state = table.get_mut(request).expect("known request");
                         state.resume_generated = generated;
+                        // Any adopted prefix KV was just discarded with the
+                        // rest; the recompute prefill covers it again.
+                        state.reused = 0;
                         state.preemptions += 1;
                         pressure_stats.preemptions += 1;
                         // Freeing memory schedules no work of its own; the
@@ -913,6 +1153,14 @@ impl ServingEngine {
                         let Some(link) = host_link else {
                             continue;
                         };
+                        if cache_on {
+                            let (e, t) = pool.prefix_evict_for_instances(
+                                &targets,
+                                pool.swapped_tokens_of(request),
+                            );
+                            cache_stats.evicted_entries += e;
+                            cache_stats.evicted_tokens += t;
+                        }
                         let tokens = match pool.swap_in(
                             request,
                             &targets,
@@ -974,11 +1222,14 @@ impl ServingEngine {
             migration_bytes,
             scheduler_calls,
             pressure: pressure_stats,
+            cache: cache_stats,
+            prefilled_tokens,
         }
     }
 
     /// Applies the effects of a completed piece of work, updating the phase
     /// indices and the idle/busy partition as it goes.
+    #[allow(clippy::too_many_arguments)]
     fn complete_work(
         work: Work,
         now: SimTime,
@@ -986,6 +1237,7 @@ impl ServingEngine {
         pool: &mut UnifiedKvPool,
         instances_state: &mut InstanceTracker,
         decode_stats: &mut DecodeLatencyStats,
+        cache_stats: &mut CacheStats,
     ) {
         match work {
             Work::Prefill {
@@ -1003,7 +1255,7 @@ impl ServingEngine {
                     // checkpoint so decoding resumes there.
                     let generated = s.resume_generated.max(1);
                     if s.request.output_len <= generated {
-                        Self::finish_request(table, id, now, pool, decode_stats);
+                        Self::finish_request(table, id, now, pool, decode_stats, cache_stats);
                     } else {
                         set_phase(table, id, Phase::DecodeReady { generated });
                     }
@@ -1017,7 +1269,7 @@ impl ServingEngine {
                     instances_state.complete(inst);
                 }
                 for id in requests {
-                    Self::advance_decode(table, id, now, pool, decode_stats);
+                    Self::advance_decode(table, id, now, pool, decode_stats, cache_stats);
                 }
             }
             Work::ChunkedPrefill {
@@ -1039,7 +1291,14 @@ impl ServingEngine {
                     s.first_token.get_or_insert(now);
                     let generated = s.resume_generated.max(1);
                     if s.request.output_len <= generated {
-                        Self::finish_request(table, prefill_request, now, pool, decode_stats);
+                        Self::finish_request(
+                            table,
+                            prefill_request,
+                            now,
+                            pool,
+                            decode_stats,
+                            cache_stats,
+                        );
                     } else {
                         set_phase(table, prefill_request, Phase::DecodeReady { generated });
                     }
@@ -1047,7 +1306,7 @@ impl ServingEngine {
                     set_phase(table, prefill_request, Phase::Pending { prefilled });
                 }
                 for id in decode_requests {
-                    Self::advance_decode(table, id, now, pool, decode_stats);
+                    Self::advance_decode(table, id, now, pool, decode_stats, cache_stats);
                 }
             }
             Work::Migration { request } => {
@@ -1084,12 +1343,13 @@ impl ServingEngine {
         now: SimTime,
         pool: &mut UnifiedKvPool,
         decode_stats: &mut DecodeLatencyStats,
+        cache_stats: &mut CacheStats,
     ) {
         let s = table.get(id).expect("known request");
         if let Phase::Decoding { generated } = s.phase {
             let generated = generated + 1;
             if generated >= s.request.output_len {
-                Self::finish_request(table, id, now, pool, decode_stats);
+                Self::finish_request(table, id, now, pool, decode_stats, cache_stats);
             } else {
                 set_phase(table, id, Phase::DecodeReady { generated });
             }
@@ -1102,15 +1362,33 @@ impl ServingEngine {
         now: SimTime,
         pool: &mut UnifiedKvPool,
         decode_stats: &mut DecodeLatencyStats,
+        cache_stats: &mut CacheStats,
     ) {
         let state = table.get_mut(id).expect("known request");
         state.finish = Some(now);
         let first_token = state.first_token;
+        let conversation = state.request.conversation;
         set_phase(table, id, Phase::Finished);
         if let Some(ft) = first_token {
             decode_stats.record(now.saturating_since(ft).as_secs());
         }
-        pool.release(id);
+        // With the prefix cache enabled, a conversation turn's full context
+        // (prompt + generated KV) is retained in place — it is exactly the
+        // shared history the next turn's prompt extends. Everything else
+        // releases as before.
+        match conversation {
+            Some(conversation) if pool.prefix_enabled() => {
+                let retained = pool.prefix_retain(id, conversation, now);
+                if retained > 0 {
+                    let total = pool.prefix().expect("enabled").retained_tokens();
+                    cache_stats.retained_tokens_high_water =
+                        cache_stats.retained_tokens_high_water.max(total);
+                }
+            }
+            _ => {
+                pool.release(id);
+            }
+        }
     }
 }
 
@@ -1154,19 +1432,29 @@ mod audit {
             pool.check_invariants()
                 .expect("kv-pool residency index consistent");
 
+            // Eviction-disjointness: prefix retention only ever holds KV of
+            // *finished* requests, so cached entries and the active working
+            // set (the requests pressure policies may victimise) can never
+            // overlap.
+            if let Some(cache) = pool.prefix() {
+                for (conversation, entry) in cache.entries() {
+                    let owner = table.get(entry.owner).expect("cached owners are known");
+                    assert!(
+                        matches!(owner.phase, Phase::Finished),
+                        "prefix entry for {conversation} retains KV of {} which is {:?}, not finished",
+                        entry.owner,
+                        owner.phase
+                    );
+                }
+            }
+
             let naive_pending: Vec<PendingRequest> = self
                 .arrived
                 .iter()
                 .filter_map(|&id| {
                     let s = table.get(id)?;
                     match s.phase {
-                        Phase::Pending { prefilled } => Some(PendingRequest {
-                            id,
-                            arrival: s.request.arrival,
-                            input_len: s.effective_input(),
-                            prefilled_len: prefilled,
-                            max_output_len: s.remaining_max_output(),
-                        }),
+                        Phase::Pending { prefilled } => Some(pending_entry(s, prefilled, pool)),
                         _ => None,
                     }
                 })

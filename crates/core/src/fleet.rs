@@ -32,6 +32,8 @@
 use crate::engine::RunOutcome;
 use crate::systems::{PressureMode, SystemKind, SystemUnderTest};
 use loong_cluster::topology::ClusterSpec;
+use loong_kvcache::prefix::PrefixCacheConfig;
+use loong_metrics::cache::CacheStats;
 use loong_metrics::fleet::FleetSummary;
 use loong_metrics::pressure::PressureStats;
 use loong_metrics::record::RequestRecord;
@@ -64,6 +66,10 @@ pub struct FleetConfig {
     pub policy: RouterPolicy,
     /// Memory-pressure handling of every replica.
     pub pressure: PressureMode,
+    /// The prefix-cache tier of every replica (`None` disables it). Pairs
+    /// naturally with [`RouterPolicy::PrefixAffinity`], which keeps a
+    /// conversation's turns on the replica retaining its prefix.
+    pub prefix_cache: Option<PrefixCacheConfig>,
     /// Per-instance KV capacity override applied to every replica.
     pub kv_capacity_override: Option<u64>,
     /// Run replicas on worker threads. Purely a wall-clock choice: replicas
@@ -84,6 +90,7 @@ impl FleetConfig {
             seed: single.seed,
             policy,
             pressure: PressureMode::Off,
+            prefix_cache: None,
             kv_capacity_override: None,
             parallel: false,
         }
@@ -99,6 +106,7 @@ impl FleetConfig {
             pressure: self.pressure,
             kv_capacity_override: self.kv_capacity_override,
             max_sim_time: None,
+            prefix_cache: self.prefix_cache,
         }
     }
 }
@@ -140,6 +148,9 @@ pub struct FleetOutcome {
     /// Memory-pressure activity accumulated across replicas (counters sum;
     /// the outstanding-swapped high-water mark takes the per-replica max).
     pub pressure: PressureStats,
+    /// Prefix-cache activity accumulated across replicas (counters sum;
+    /// the retained high-water mark takes the per-replica max).
+    pub cache: CacheStats,
 }
 
 impl FleetOutcome {
@@ -180,6 +191,9 @@ impl FleetOutcome {
             .map(|r| r.outcome.pressure)
             .collect();
         summary.attach_pressure(&per_replica_pressure);
+        let per_replica_cache: Vec<CacheStats> =
+            self.per_replica.iter().map(|r| r.outcome.cache).collect();
+        summary.attach_cache(&per_replica_cache);
         summary
     }
 }
@@ -234,6 +248,7 @@ impl FleetEngine {
                 arrival: req.arrival,
                 input_len: req.input_len,
                 max_output_len: req.max_output_len,
+                conversation: req.conversation,
             };
             let replica = self.router.route(&route_req, tracker.loads());
             assert!(
@@ -296,6 +311,7 @@ impl FleetEngine {
         let mut migration_bytes = 0.0f64;
         let mut scheduler_calls = 0u64;
         let mut pressure = PressureStats::default();
+        let mut cache = CacheStats::default();
         let mut per_replica = Vec::with_capacity(outcomes.len());
         for (i, (sub, outcome)) in subs.into_iter().zip(outcomes).enumerate() {
             records.extend(outcome.records.iter().copied());
@@ -306,6 +322,7 @@ impl FleetEngine {
             migration_bytes += outcome.migration_bytes;
             scheduler_calls += outcome.scheduler_calls;
             pressure.merge(&outcome.pressure);
+            cache.merge(&outcome.cache);
             per_replica.push(ReplicaOutcome {
                 replica: ReplicaId::from(i),
                 assigned: sub.len(),
@@ -325,6 +342,7 @@ impl FleetEngine {
             migration_bytes,
             scheduler_calls,
             pressure,
+            cache,
         }
     }
 }

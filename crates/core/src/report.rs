@@ -136,6 +136,7 @@ mod tests {
             slo_attainment: attainment,
             preemptions: 0,
             pressure: loong_metrics::pressure::PressureStats::default(),
+            cache: loong_metrics::cache::CacheStats::default(),
         }
     }
 

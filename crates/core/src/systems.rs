@@ -8,6 +8,7 @@
 
 use crate::engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
 use loong_cluster::topology::ClusterSpec;
+use loong_kvcache::prefix::PrefixCacheConfig;
 use loong_metrics::slo::SloSpec;
 use loong_metrics::summary::RunSummary;
 use loong_model::config::ModelConfig;
@@ -208,6 +209,9 @@ pub struct SystemUnderTest {
     /// Hard cap on simulated time (a watchdog for overload experiments);
     /// `None` runs to completion.
     pub max_sim_time: Option<SimDuration>,
+    /// The prefix-cache tier (KV reuse across conversation turns). `None`
+    /// — the default — keeps runs bit-for-bit on the pre-tier path.
+    pub prefix_cache: Option<PrefixCacheConfig>,
 }
 
 impl SystemUnderTest {
@@ -221,12 +225,19 @@ impl SystemUnderTest {
             pressure: PressureMode::Off,
             kv_capacity_override: None,
             max_sim_time: None,
+            prefix_cache: None,
         }
     }
 
     /// Enables a memory-pressure mode (see [`PressureMode`]).
     pub fn with_pressure(mut self, pressure: PressureMode) -> Self {
         self.pressure = pressure;
+        self
+    }
+
+    /// Enables the prefix-cache tier with the given configuration.
+    pub fn with_prefix_cache(mut self, config: PrefixCacheConfig) -> Self {
+        self.prefix_cache = Some(config);
         self
     }
 
@@ -273,6 +284,7 @@ impl SystemUnderTest {
             max_sim_time: self.max_sim_time,
             host_swap,
             kv_capacity_override: self.kv_capacity_override,
+            prefix_cache: self.prefix_cache,
         };
         // The scheduler needs the instance list, which depends on tp.
         let registry = loong_esp::instance::InstanceRegistry::build(&self.cluster, tp);
@@ -295,7 +307,9 @@ impl SystemUnderTest {
             request_rate,
             &outcome.records,
             slo,
-        );
+        )
+        .with_pressure(outcome.pressure)
+        .with_cache(outcome.cache);
         (summary, outcome)
     }
 }

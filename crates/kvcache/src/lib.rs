@@ -9,6 +9,9 @@
 //!   instances, with commit/append/migrate/drain/evict operations and an
 //!   optional host-DRAM swap tier (`swap_out`/`swap_in`),
 //! * [`host`] — the host-DRAM pool backing the swap tier,
+//! * [`prefix`] — the prefix-cache tier: a deterministic hash-chained
+//!   prefix index over the unified pool with ref-counted retention of
+//!   completed requests' KV and atomic `match → adopt` reuse,
 //! * [`frag`] — fragmentation metrics contrasting locality-constrained and
 //!   unified admission (paper §2.4, Figure 4).
 //!
@@ -35,6 +38,7 @@ pub mod frag;
 pub mod host;
 pub mod placement;
 pub mod pool;
+pub mod prefix;
 pub mod unified;
 
 pub use frag::{
@@ -43,6 +47,7 @@ pub use frag::{
 pub use host::HostKvPool;
 pub use placement::{plan_placement, PlacementPlan, PlacementStrategy};
 pub use pool::{InstanceKvPool, KvError};
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixDemand, PrefixEntry};
 pub use unified::{KvMove, UnifiedKvPool};
 
 /// Convenient glob-import of the most commonly used types.
@@ -53,5 +58,6 @@ pub mod prelude {
     pub use crate::host::HostKvPool;
     pub use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
     pub use crate::pool::{InstanceKvPool, KvError};
+    pub use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixDemand, PrefixEntry};
     pub use crate::unified::{KvMove, UnifiedKvPool};
 }

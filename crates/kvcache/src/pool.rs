@@ -200,6 +200,30 @@ impl InstanceKvPool {
         self.per_request.iter().map(|(&r, &t)| (r, t))
     }
 
+    /// Transfers every slot held by `from` to `to` without touching the
+    /// free-slot accounting. This is the mechanism behind atomic prefix
+    /// reuse: a completed request's retained KV becomes the follow-up
+    /// request's KV in place, with no copy and no transient free/alloc
+    /// window another allocation could race into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` already holds slots here (a request adopts a prefix
+    /// before its first prefill commits anything) or if `from` holds none.
+    pub fn rename(&mut self, from: RequestId, to: RequestId) -> u64 {
+        assert!(
+            !self.per_request.contains_key(&to),
+            "{}: rename target {to} already holds KV slots",
+            self.instance
+        );
+        let tokens = self
+            .per_request
+            .remove(&from)
+            .unwrap_or_else(|| panic!("{}: rename source {from} holds no KV slots", self.instance));
+        self.per_request.insert(to, tokens);
+        tokens
+    }
+
     /// Checks the internal bookkeeping invariant (used slots equal the sum
     /// of per-request holdings and never exceed capacity).
     pub fn check_invariants(&self) -> Result<(), String> {

@@ -10,7 +10,9 @@
 use crate::host::HostKvPool;
 use crate::placement::{plan_placement, PlacementPlan, PlacementStrategy};
 use crate::pool::{InstanceKvPool, KvError};
-use loong_simcore::ids::{InstanceId, RequestId};
+use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixDemand};
+use loong_simcore::ids::{ConversationId, InstanceId, RequestId};
+use loong_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -41,6 +43,10 @@ pub struct UnifiedKvPool {
     /// device-side operation on its pre-existing path — the zero-cost-when-
     /// disabled invariant the golden digests pin.
     host: Option<HostKvPool>,
+    /// The optional prefix-cache tier. `None` (the default) keeps finished
+    /// requests on the release path and adds no lookups anywhere — the same
+    /// zero-cost-when-disabled contract as the host tier.
+    prefix: Option<PrefixCache>,
 }
 
 impl UnifiedKvPool {
@@ -53,6 +59,7 @@ impl UnifiedKvPool {
                 .collect(),
             residency: BTreeMap::new(),
             host: None,
+            prefix: None,
         }
     }
 
@@ -67,6 +74,7 @@ impl UnifiedKvPool {
                 .collect(),
             residency: BTreeMap::new(),
             host: None,
+            prefix: None,
         }
     }
 
@@ -384,6 +392,33 @@ impl UnifiedKvPool {
                 }
             }
         }
+        // The prefix tier, when enabled, must name device-resident owners
+        // whose holdings match the index exactly, each owner at most once,
+        // and never an owner parked on the host tier (retention and swap
+        // are disjoint by construction).
+        if let Some(cache) = &self.prefix {
+            cache.check_invariants()?;
+            let mut owners: Vec<RequestId> = Vec::new();
+            for (conv, entry) in cache.entries() {
+                let held = self.tokens_of(entry.owner);
+                if held != entry.tokens {
+                    return Err(format!(
+                        "prefix entry for {conv} says {} holds {} tokens, pool says {held}",
+                        entry.owner, entry.tokens
+                    ));
+                }
+                if self.host.as_ref().is_some_and(|h| h.hosts(entry.owner)) {
+                    return Err(format!(
+                        "prefix owner {} of {conv} is parked on the host tier",
+                        entry.owner
+                    ));
+                }
+                if owners.contains(&entry.owner) {
+                    return Err(format!("prefix owner {} retained twice", entry.owner));
+                }
+                owners.push(entry.owner);
+            }
+        }
         Ok(())
     }
 
@@ -533,11 +568,282 @@ impl UnifiedKvPool {
             .expect("placement planned against current free slots");
         Ok(tokens)
     }
+
+    // ---- Prefix-cache tier --------------------------------------------------
+
+    /// Enables the prefix-cache tier. The cache starts empty; enabling it
+    /// changes no device-side state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier is already enabled or the config is invalid.
+    pub fn enable_prefix_cache(&mut self, config: PrefixCacheConfig) {
+        assert!(self.prefix.is_none(), "prefix cache enabled twice");
+        self.prefix = Some(PrefixCache::new(config));
+    }
+
+    /// The prefix cache, if enabled.
+    pub fn prefix(&self) -> Option<&PrefixCache> {
+        self.prefix.as_ref()
+    }
+
+    /// Returns true if the prefix-cache tier is enabled.
+    pub fn prefix_enabled(&self) -> bool {
+        self.prefix.is_some()
+    }
+
+    /// Tokens a prompt of `prompt_len` tokens in `conversation` could adopt
+    /// right now (zero when the tier is disabled or nothing matches).
+    pub fn prefix_match_len(&self, conversation: ConversationId, prompt_len: u64) -> u64 {
+        self.prefix
+            .as_ref()
+            .map(|c| c.match_len(conversation, prompt_len))
+            .unwrap_or(0)
+    }
+
+    /// Pins `conversation`'s retained entry for a pending waiter. No-op when
+    /// the tier is disabled.
+    pub fn prefix_waiter_add(&mut self, conversation: ConversationId) {
+        if let Some(cache) = &mut self.prefix {
+            cache.waiter_add(conversation);
+        }
+    }
+
+    /// Releases one waiter pin on `conversation`. No-op when the tier is
+    /// disabled.
+    pub fn prefix_waiter_drop(&mut self, conversation: ConversationId) {
+        if let Some(cache) = &mut self.prefix {
+            cache.waiter_drop(conversation);
+        }
+    }
+
+    /// Retains a finished request's device-resident KV as `conversation`'s
+    /// cached prefix instead of releasing it. The slots stay allocated under
+    /// `request`; a previous entry for the conversation (the prior turn's
+    /// shorter context) is released and replaced. Returns the tokens
+    /// retained — zero (with a plain release) when the tier is disabled or
+    /// the request holds nothing on the device.
+    pub fn prefix_retain(
+        &mut self,
+        request: RequestId,
+        conversation: ConversationId,
+        now: SimTime,
+    ) -> u64 {
+        let tokens = self.tokens_of(request);
+        let Some(cache) = &mut self.prefix else {
+            self.release(request);
+            return 0;
+        };
+        if tokens == 0 {
+            return 0;
+        }
+        if let Some(old) = cache.insert(conversation, request, tokens, now) {
+            self.release(old.owner);
+        }
+        tokens
+    }
+
+    /// Atomically adopts `conversation`'s retained prefix for `request`: the
+    /// cached slots are renamed from the finished owner to `request` on every
+    /// instance holding them — no copy, no transient free/alloc window — and
+    /// the entry leaves the index. Returns the adopted token count, or
+    /// `None` when nothing matches a prompt of `prompt_len` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` already holds device slots (adoption must precede
+    /// the request's first prefill commit).
+    pub fn prefix_adopt(
+        &mut self,
+        request: RequestId,
+        conversation: ConversationId,
+        prompt_len: u64,
+    ) -> Option<u64> {
+        let cache = self.prefix.as_ref()?;
+        if cache.match_len(conversation, prompt_len) == 0 {
+            return None;
+        }
+        assert!(
+            !self.residency.contains_key(&request),
+            "{request} must adopt its prefix before holding any KV"
+        );
+        let entry = self
+            .prefix
+            .as_mut()
+            .expect("checked above")
+            .remove(conversation)
+            .expect("matched above");
+        let locations = self
+            .residency
+            .remove(&entry.owner)
+            .expect("cached owners are device-resident");
+        for &(inst, _) in &locations {
+            self.pools[inst.index()].rename(entry.owner, request);
+        }
+        self.residency.insert(request, locations);
+        Some(entry.tokens)
+    }
+
+    /// Runs the prefix-cache eviction policy for one scheduling point:
+    /// watermark eviction of unpinned entries down to the configured device
+    /// utilisation, then head-of-queue headroom eviction (unpinned first,
+    /// then pinned; the head's own conversation is never a victim — the
+    /// tokens it would free equal the extra tokens the head would then have
+    /// to prefill). Victims' slots are released. Returns `(entries, tokens)`
+    /// evicted; `(0, 0)` always when the tier is disabled.
+    pub fn prefix_evict_point(&mut self, head: Option<PrefixDemand>) -> (u64, u64) {
+        let Some(cache) = &self.prefix else {
+            return (0, 0);
+        };
+        let watermark = cache.config().high_watermark;
+        let mut entries = 0u64;
+        let mut tokens = 0u64;
+        while self.device_utilization() > watermark {
+            let Some(victim) = self
+                .prefix
+                .as_ref()
+                .expect("checked above")
+                .eviction_victim(false, None)
+            else {
+                break;
+            };
+            tokens += self.prefix_evict_one(victim);
+            entries += 1;
+        }
+        if let Some(head) = head {
+            let cached = head
+                .conversation
+                .map(|c| self.prefix_match_len(c, head.remaining_input))
+                .unwrap_or(0);
+            let demand = head.remaining_input - cached + head.reserve_output;
+            // A request no eviction could ever admit (the schedulers will
+            // reject or queue it) must not flush the whole cache.
+            if demand <= self.total_capacity() {
+                while self.total_free() < demand {
+                    let cache = self.prefix.as_ref().expect("checked above");
+                    let Some(victim) = cache
+                        .eviction_victim(false, head.conversation)
+                        .or_else(|| cache.eviction_victim(true, head.conversation))
+                    else {
+                        break;
+                    };
+                    tokens += self.prefix_evict_one(victim);
+                    entries += 1;
+                }
+            }
+        }
+        (entries, tokens)
+    }
+
+    /// Total tokens retained by the prefix cache (zero when disabled).
+    pub fn prefix_retained_tokens(&self) -> u64 {
+        self.prefix
+            .as_ref()
+            .map(|c| c.retained_tokens())
+            .unwrap_or(0)
+    }
+
+    /// Tokens retained by the prefix cache on `instance` (zero when
+    /// disabled). O(entries); cached owners never migrate, so the per-entry
+    /// holdings are stable while retained.
+    pub fn prefix_retained_on(&self, instance: InstanceId) -> u64 {
+        let Some(cache) = &self.prefix else {
+            return 0;
+        };
+        cache
+            .entries()
+            .map(|(_, e)| self.pools[instance.index()].used_by(e.owner))
+            .sum()
+    }
+
+    /// Used slots excluding retained prefixes — the *active* working set.
+    /// Retained prefixes are reclaimable on demand, so capacity-driven
+    /// policies (pressure watermarks, admission budgets) treat them as
+    /// free; counting them as used would let a full cache pause admission
+    /// forever while pinning the very requests that would unpin it.
+    pub fn active_used(&self) -> u64 {
+        self.total_used() - self.prefix_retained_tokens()
+    }
+
+    /// Device utilisation of the active working set in `[0, 1]`: like
+    /// [`Self::device_utilization`] but excluding reclaimable retained
+    /// prefixes. Identical to it when the tier is disabled.
+    pub fn active_utilization(&self) -> f64 {
+        let cap = self.total_capacity();
+        if cap == 0 {
+            return 1.0;
+        }
+        self.active_used() as f64 / cap as f64
+    }
+
+    /// Evicts retained prefixes until `instances` hold at least `needed`
+    /// free slots between them, LRU-first (unpinned before pinned) among
+    /// the entries holding tokens on any of `instances`. The engine calls
+    /// this just before committing prefill placements, decode appends,
+    /// migrations and swap-ins, so admission policies may count retained
+    /// tokens as reclaimable and execution makes good on it. Returns
+    /// `(entries, tokens)` evicted; `(0, 0)` always when the tier is
+    /// disabled or the slots are already free.
+    pub fn prefix_evict_for_instances(
+        &mut self,
+        instances: &[InstanceId],
+        needed: u64,
+    ) -> (u64, u64) {
+        if self.prefix.is_none() {
+            return (0, 0);
+        }
+        let mut entries = 0u64;
+        let mut tokens = 0u64;
+        loop {
+            let free: u64 = instances
+                .iter()
+                .map(|&i| self.pools[i.index()].free())
+                .sum();
+            if free >= needed {
+                break;
+            }
+            let cache = self.prefix.as_ref().expect("checked above");
+            let mut best: Option<(bool, SimTime, ConversationId)> = None;
+            for (conv, entry) in cache.entries() {
+                let holds_here = instances
+                    .iter()
+                    .any(|&i| self.pools[i.index()].used_by(entry.owner) > 0);
+                if !holds_here {
+                    continue;
+                }
+                let key = (cache.waiters(conv) > 0, entry.retained_at, conv);
+                if best.map(|b| key < b).unwrap_or(true) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, _, victim)) = best else {
+                break;
+            };
+            tokens += self.prefix_evict_one(victim);
+            entries += 1;
+        }
+        (entries, tokens)
+    }
+
+    /// Evicts one retained entry, releasing its owner's slots. Returns the
+    /// tokens freed.
+    fn prefix_evict_one(&mut self, conversation: ConversationId) -> u64 {
+        let entry = self
+            .prefix
+            .as_mut()
+            .expect("eviction requires the tier")
+            .remove(conversation)
+            .expect("victims come from the index");
+        let freed = self.release(entry.owner);
+        debug_assert_eq!(freed, entry.tokens);
+        freed
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prefix::PrefixCacheConfig;
 
     fn pool() -> UnifiedKvPool {
         UnifiedKvPool::with_capacities(&[100_000, 200_000, 400_000])
@@ -750,6 +1056,144 @@ mod tests {
         p.enable_host_tier(50);
         assert!(p.host_enabled());
         assert_eq!(p.host().expect("enabled").capacity(), 50);
+    }
+
+    #[test]
+    fn prefix_retain_adopt_roundtrip_renames_slots_in_place() {
+        let mut p = pool();
+        p.enable_prefix_cache(PrefixCacheConfig::default());
+        let conv = ConversationId(9);
+        // Turn 0 finishes with 30k tokens spread over two instances.
+        p.append(RequestId(0), InstanceId(0), 20_000).expect("room");
+        p.append(RequestId(0), InstanceId(1), 10_000).expect("room");
+        let retained = p.prefix_retain(RequestId(0), conv, SimTime::from_secs(1.0));
+        assert_eq!(retained, 30_000);
+        assert_eq!(p.tokens_of(RequestId(0)), 30_000, "slots stay allocated");
+        assert_eq!(p.prefix().expect("enabled").retained_tokens(), 30_000);
+        // A follow-up prompt strictly longer than the entry matches it...
+        assert_eq!(p.prefix_match_len(conv, 45_000), 30_000);
+        // ...and adoption renames the slots with no free/alloc transition.
+        let used_before = p.total_used();
+        let adopted = p.prefix_adopt(RequestId(1), conv, 45_000).expect("matched");
+        assert_eq!(adopted, 30_000);
+        assert_eq!(p.total_used(), used_before);
+        assert_eq!(p.tokens_of(RequestId(0)), 0);
+        assert_eq!(
+            p.locations_of(RequestId(1)),
+            vec![(InstanceId(0), 20_000), (InstanceId(1), 10_000)]
+        );
+        assert!(p.prefix().expect("enabled").is_empty());
+        assert!(p.check_invariants().is_ok());
+        // The next turn retains the grown context, replacing nothing.
+        p.append(RequestId(1), InstanceId(2), 15_000).expect("room");
+        assert_eq!(
+            p.prefix_retain(RequestId(1), conv, SimTime::from_secs(2.0)),
+            45_000
+        );
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn prefix_retain_replaces_and_releases_the_old_entry() {
+        let mut p = UnifiedKvPool::with_capacities(&[1_000]);
+        p.enable_prefix_cache(PrefixCacheConfig::default());
+        let conv = ConversationId(1);
+        p.append(RequestId(0), InstanceId(0), 100).expect("room");
+        p.prefix_retain(RequestId(0), conv, SimTime::from_secs(1.0));
+        // A later turn of the same conversation finished without adopting
+        // (it arrived before turn 0 completed): retention replaces.
+        p.append(RequestId(1), InstanceId(0), 300).expect("room");
+        p.prefix_retain(RequestId(1), conv, SimTime::from_secs(2.0));
+        assert_eq!(p.tokens_of(RequestId(0)), 0, "old owner released");
+        assert_eq!(p.total_used(), 300);
+        assert_eq!(p.prefix_match_len(conv, 301), 300);
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn prefix_disabled_paths_are_noops() {
+        let mut p = UnifiedKvPool::with_capacities(&[100]);
+        assert!(!p.prefix_enabled());
+        p.append(RequestId(0), InstanceId(0), 50).expect("room");
+        // Retention without the tier falls back to a plain release.
+        assert_eq!(
+            p.prefix_retain(RequestId(0), ConversationId(0), SimTime::ZERO),
+            0
+        );
+        assert_eq!(p.total_used(), 0);
+        assert_eq!(p.prefix_match_len(ConversationId(0), 100), 0);
+        assert_eq!(p.prefix_adopt(RequestId(1), ConversationId(0), 100), None);
+        assert_eq!(p.prefix_evict_point(None), (0, 0));
+        p.prefix_waiter_add(ConversationId(0));
+        p.prefix_waiter_drop(ConversationId(0));
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn prefix_watermark_eviction_is_lru_and_respects_pins() {
+        let mut p = UnifiedKvPool::with_capacities(&[1_000]);
+        p.enable_prefix_cache(PrefixCacheConfig {
+            high_watermark: 0.5,
+            block_tokens: 64,
+        });
+        for (i, at) in [(0u64, 3.0), (1u64, 1.0), (2u64, 2.0)] {
+            p.append(RequestId(i), InstanceId(0), 300).expect("room");
+            p.prefix_retain(RequestId(i), ConversationId(i), SimTime::from_secs(at));
+        }
+        // Pin the LRU entry (conversation 1): the watermark pass must skip
+        // it and take conversation 2, then 0, stopping at 50% utilisation.
+        p.prefix_waiter_add(ConversationId(1));
+        let (entries, tokens) = p.prefix_evict_point(None);
+        assert_eq!((entries, tokens), (2, 600));
+        assert!(
+            p.prefix_match_len(ConversationId(1), 1_000) > 0,
+            "pinned survives"
+        );
+        assert_eq!(p.prefix_match_len(ConversationId(2), 1_000), 0);
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn prefix_headroom_eviction_frees_for_the_queue_head() {
+        let mut p = UnifiedKvPool::with_capacities(&[1_000]);
+        p.enable_prefix_cache(PrefixCacheConfig {
+            high_watermark: 1.0,
+            block_tokens: 64,
+        });
+        for (i, at) in [(0u64, 2.0), (1u64, 1.0)] {
+            p.append(RequestId(i), InstanceId(0), 400).expect("room");
+            p.prefix_retain(RequestId(i), ConversationId(i), SimTime::from_secs(at));
+        }
+        // The head adopts its own 400-token entry, so its demand is the
+        // 50-token suffix plus a 300-slot output reserve = 350 > 200 free.
+        // Conversation 1's entry must go even though it is pinned —
+        // headroom eviction may take pinned entries once unpinned ones run
+        // out — while conversation 0 is protected as the head's own.
+        p.prefix_waiter_add(ConversationId(1));
+        let (entries, tokens) = p.prefix_evict_point(Some(PrefixDemand {
+            conversation: Some(ConversationId(0)),
+            remaining_input: 450,
+            reserve_output: 300,
+        }));
+        assert_eq!((entries, tokens), (1, 400));
+        assert!(p.total_free() >= 350);
+        assert!(
+            p.prefix_match_len(ConversationId(0), 450) > 0,
+            "the head's own entry is never evicted"
+        );
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn prefix_match_requires_strictly_longer_prompt() {
+        let mut p = UnifiedKvPool::with_capacities(&[1_000]);
+        p.enable_prefix_cache(PrefixCacheConfig::default());
+        p.append(RequestId(0), InstanceId(0), 200).expect("room");
+        p.prefix_retain(RequestId(0), ConversationId(0), SimTime::ZERO);
+        assert_eq!(p.prefix_match_len(ConversationId(0), 200), 0);
+        assert_eq!(p.prefix_match_len(ConversationId(0), 201), 200);
+        assert_eq!(p.prefix_adopt(RequestId(1), ConversationId(0), 200), None);
+        assert!(p.check_invariants().is_ok());
     }
 
     #[test]

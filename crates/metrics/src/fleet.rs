@@ -7,6 +7,7 @@
 //! mis-weight unevenly loaded replicas), while capacity questions need the
 //! per-replica breakdown. [`FleetSummary`] carries both.
 
+use crate::cache::CacheStats;
 use crate::pressure::PressureStats;
 use crate::record::RequestRecord;
 use crate::slo::SloSpec;
@@ -89,6 +90,28 @@ impl FleetSummary {
             merged.merge(stats);
         }
         self.fleet.pressure = merged;
+    }
+
+    /// Attaches per-replica prefix-cache counters (replica-id order) to the
+    /// rollup, mirroring [`FleetSummary::attach_pressure`]: each replica
+    /// summary gets its own record and the merged summary gets the
+    /// fleet-wide accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the replica count.
+    pub fn attach_cache(&mut self, per_replica: &[CacheStats]) {
+        assert_eq!(
+            per_replica.len(),
+            self.per_replica.len(),
+            "one cache record per replica"
+        );
+        let mut merged = CacheStats::default();
+        for (summary, stats) in self.per_replica.iter_mut().zip(per_replica) {
+            summary.cache = *stats;
+            merged.merge(stats);
+        }
+        self.fleet.cache = merged;
     }
 
     /// Number of replicas in the fleet.

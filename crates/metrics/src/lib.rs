@@ -7,6 +7,8 @@
 //! * [`latency`] — means, percentiles and latency summaries,
 //! * [`slo`] — SLO specifications, attainment and (P90) goodput,
 //! * [`pressure`] — memory-pressure counters (preemptions, swap traffic),
+//! * [`cache`] — prefix-cache counters (hit rate, reused tokens, saved
+//!   prefill seconds, evictions),
 //! * [`timeseries`] — binned event counters (e.g. scale-ups per 10 s),
 //! * [`summary`] — per-run summaries and markdown comparison tables,
 //! * [`fleet`] — fleet-level aggregation: merged metrics over every
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod fleet;
 pub mod latency;
 pub mod pressure;
@@ -43,6 +46,7 @@ pub mod slo;
 pub mod summary;
 pub mod timeseries;
 
+pub use cache::CacheStats;
 pub use fleet::FleetSummary;
 pub use latency::{mean, percentile, LatencySummary};
 pub use pressure::PressureStats;
@@ -53,6 +57,7 @@ pub use timeseries::BinnedCounter;
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
+    pub use crate::cache::CacheStats;
     pub use crate::fleet::FleetSummary;
     pub use crate::latency::{mean, percentile, LatencySummary};
     pub use crate::pressure::PressureStats;

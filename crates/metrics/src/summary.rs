@@ -5,6 +5,7 @@
 //! latency, throughput, and SLO attainment. The figure-reproduction benches
 //! assemble tables of these summaries across systems and request rates.
 
+use crate::cache::CacheStats;
 use crate::latency::LatencySummary;
 use crate::pressure::PressureStats;
 use crate::record::RequestRecord;
@@ -45,6 +46,10 @@ pub struct RunSummary {
     /// this at zero; callers holding engine-level counters attach them via
     /// [`RunSummary::with_pressure`].
     pub pressure: PressureStats,
+    /// Prefix-cache counters for the run (all-zero when the tier is
+    /// disabled or never reused a prefix). Attached via
+    /// [`RunSummary::with_cache`], like the pressure block.
+    pub cache: CacheStats,
 }
 
 impl RunSummary {
@@ -77,6 +82,7 @@ impl RunSummary {
                 slo_attainment: 0.0,
                 preemptions: 0,
                 pressure: PressureStats::default(),
+                cache: CacheStats::default(),
             };
         }
         let first_arrival = records
@@ -124,12 +130,19 @@ impl RunSummary {
             slo_attainment: slo.attainment(records),
             preemptions: records.iter().map(|r| u64::from(r.preemptions)).sum(),
             pressure: PressureStats::default(),
+            cache: CacheStats::default(),
         }
     }
 
     /// Attaches engine-level memory-pressure counters to the summary.
     pub fn with_pressure(mut self, pressure: PressureStats) -> Self {
         self.pressure = pressure;
+        self
+    }
+
+    /// Attaches engine-level prefix-cache counters to the summary.
+    pub fn with_cache(mut self, cache: CacheStats) -> Self {
+        self.cache = cache;
         self
     }
 

@@ -1,0 +1,228 @@
+//! Edge-case coverage for the aggregation paths the prefix-cache and
+//! pressure rollups lean on.
+//!
+//! The fleet summary code merges per-replica `PressureStats`/`CacheStats`
+//! records and per-replica latency samples; empty replicas, single-sample
+//! distributions and all-zero counter blocks are precisely the shapes that
+//! show up on lightly loaded fleets, so they are pinned here, plus a
+//! proptest that the merged fleet stats always equal the fold of the
+//! per-replica records (counters sum, high-water marks take the max).
+
+use loong_metrics::prelude::*;
+use loong_simcore::ids::RequestId;
+use loong_simcore::time::SimTime;
+use proptest::prelude::*;
+
+const PROPTEST_SEED: u64 = 0x3e7a_11ed_9e57_0001;
+
+fn ci_config(cases: u32) -> ProptestConfig {
+    ProptestConfig {
+        cases,
+        failure_persistence: Some(FileFailurePersistence::Off),
+        rng_seed: PROPTEST_SEED,
+    }
+}
+
+fn record(id: u64) -> RequestRecord {
+    RequestRecord {
+        id: RequestId(id),
+        arrival: SimTime::ZERO,
+        input_len: 100,
+        output_len: 10,
+        prefill_start: SimTime::from_secs(0.1),
+        first_token: SimTime::from_secs(0.5),
+        finish: SimTime::from_secs(2.0),
+        preemptions: 0,
+    }
+}
+
+fn slo() -> SloSpec {
+    SloSpec {
+        per_token_s: 10.0,
+        input_s: 10.0,
+        output_s: 10.0,
+    }
+}
+
+#[test]
+fn empty_and_single_sample_percentiles_are_well_defined() {
+    // Empty: all zeros, every percentile.
+    for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+        assert_eq!(percentile(&[], p), 0.0);
+    }
+    assert_eq!(mean(&[]), 0.0);
+    let empty = LatencySummary::empty();
+    assert_eq!(
+        (empty.count, empty.mean, empty.p50, empty.p90),
+        (0, 0.0, 0.0, 0.0)
+    );
+
+    // Single sample: every percentile is the sample, including the ends.
+    for p in [0.0, 37.5, 50.0, 99.0, 100.0] {
+        assert_eq!(percentile(&[7.25], p), 7.25);
+    }
+    let single = LatencySummary::from_values(&[7.25]);
+    assert_eq!(single.count, 1);
+    assert_eq!(single.p50, 7.25);
+    assert_eq!(single.p99, 7.25);
+    assert_eq!(single.max, 7.25);
+
+    // Two samples: linear interpolation between closest ranks.
+    assert_eq!(percentile(&[1.0, 3.0], 50.0), 2.0);
+    assert_eq!(percentile(&[1.0, 3.0], 0.0), 1.0);
+    assert_eq!(percentile(&[1.0, 3.0], 100.0), 3.0);
+}
+
+#[test]
+fn timeseries_edges_are_well_defined() {
+    // Empty counter: no bins, zero everything.
+    let empty = BinnedCounter::new(10.0);
+    assert!(empty.bins().is_empty());
+    assert_eq!(empty.total(), 0);
+    assert_eq!(empty.mean_per_bin(), 0.0);
+    assert_eq!(empty.max_per_bin(), 0);
+
+    // A single event at exactly t = 0 creates exactly one bin.
+    let mut one = BinnedCounter::new(10.0);
+    one.record(SimTime::ZERO);
+    assert_eq!(one.bins(), &[1]);
+    assert_eq!(one.mean_per_bin(), 1.0);
+
+    // An event exactly on a bin boundary lands in the upper bin.
+    let mut boundary = BinnedCounter::new(10.0);
+    boundary.record(SimTime::from_secs(10.0));
+    assert_eq!(boundary.bins(), &[0, 1]);
+
+    // Zero-count record_many still materialises the bin but adds nothing.
+    let mut zero = BinnedCounter::new(1.0);
+    zero.record_many(SimTime::from_secs(3.5), 0);
+    assert_eq!(zero.total(), 0);
+    assert_eq!(zero.bins(), &[0, 0, 0, 0]);
+    assert_eq!(zero.max_per_bin(), 0);
+}
+
+#[test]
+fn fleet_rollup_of_all_zero_stats_stays_zero() {
+    let r0 = [record(0)];
+    let r1 = [record(1)];
+    let mut s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&r0, &r1], &slo());
+    s.attach_pressure(&[PressureStats::default(), PressureStats::default()]);
+    s.attach_cache(&[CacheStats::default(), CacheStats::default()]);
+    assert!(s.fleet.pressure.is_zero());
+    assert!(s.fleet.cache.is_zero());
+    assert_eq!(s.fleet.cache.hit_rate(), 0.0);
+    for replica in &s.per_replica {
+        assert!(replica.pressure.is_zero());
+        assert!(replica.cache.is_zero());
+    }
+
+    // A single non-zero replica breaks only the merged zero-ness.
+    let active = CacheStats {
+        lookups: 4,
+        hits: 2,
+        reused_tokens: 100,
+        ..CacheStats::default()
+    };
+    s.attach_cache(&[CacheStats::default(), active]);
+    assert!(!s.fleet.cache.is_zero());
+    assert!(s.per_replica[0].cache.is_zero());
+    assert_eq!(s.per_replica[1].cache, active);
+    assert_eq!(s.fleet.cache.hits, 2);
+}
+
+fn cache_stats_strategy() -> impl Strategy<Value = (u64, u64, u64, u64, u64, u64)> {
+    (
+        0u64..1000,
+        0u64..1000,
+        0u64..100_000,
+        0u64..100,
+        0u64..100_000,
+        0u64..1_000_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ci_config(32))]
+
+    /// Merged fleet stats equal the fold of per-replica stats: every
+    /// counter is the sum, every high-water mark the max, for both the
+    /// pressure and cache blocks, over 1–6 replicas.
+    #[test]
+    fn merged_fleet_stats_equal_the_per_replica_fold(
+        raw in proptest::collection::vec(cache_stats_strategy(), 1..6),
+    ) {
+        let caches: Vec<CacheStats> = raw
+            .iter()
+            .map(|&(lookups, hits, reused, evicted_e, evicted_t, high)| CacheStats {
+                lookups,
+                hits,
+                reused_tokens: reused,
+                saved_prefill_s: evicted_e as f64 / 10.0,
+                evicted_entries: evicted_e,
+                evicted_tokens: evicted_t,
+                retained_tokens_high_water: high,
+            })
+            .collect();
+        let pressures: Vec<PressureStats> = raw
+            .iter()
+            .map(|&(a, b, c, d, e, high)| PressureStats {
+                preemptions: a,
+                swap_out_events: b,
+                swap_in_events: d,
+                swap_out_bytes: c as f64,
+                swap_in_bytes: e as f64,
+                swap_stall_s: d as f64 / 100.0,
+                max_outstanding_swapped_tokens: high,
+            })
+            .collect();
+
+        let records: Vec<[RequestRecord; 1]> =
+            (0..raw.len() as u64).map(|i| [record(i)]).collect();
+        let borrowed: Vec<&[RequestRecord]> = records.iter().map(|r| r.as_slice()).collect();
+        let mut summary =
+            FleetSummary::from_replica_records("fleet", "w", 1.0, &borrowed, &slo());
+        summary.attach_pressure(&pressures);
+        summary.attach_cache(&caches);
+
+        // The merged block must equal the explicit fold...
+        prop_assert_eq!(
+            summary.fleet.cache.lookups,
+            caches.iter().map(|c| c.lookups).sum::<u64>()
+        );
+        prop_assert_eq!(
+            summary.fleet.cache.hits,
+            caches.iter().map(|c| c.hits).sum::<u64>()
+        );
+        prop_assert_eq!(
+            summary.fleet.cache.reused_tokens,
+            caches.iter().map(|c| c.reused_tokens).sum::<u64>()
+        );
+        prop_assert_eq!(
+            summary.fleet.cache.evicted_tokens,
+            caches.iter().map(|c| c.evicted_tokens).sum::<u64>()
+        );
+        prop_assert_eq!(
+            summary.fleet.cache.retained_tokens_high_water,
+            caches.iter().map(|c| c.retained_tokens_high_water).max().unwrap_or(0)
+        );
+        prop_assert_eq!(
+            summary.fleet.pressure.preemptions,
+            pressures.iter().map(|p| p.preemptions).sum::<u64>()
+        );
+        prop_assert_eq!(
+            summary.fleet.pressure.max_outstanding_swapped_tokens,
+            pressures.iter().map(|p| p.max_outstanding_swapped_tokens).max().unwrap_or(0)
+        );
+        // ...and per-replica records must round-trip untouched.
+        for (summary, expected) in summary.per_replica.iter().zip(&caches) {
+            prop_assert_eq!(&summary.cache, expected);
+        }
+        // Merging is associative with the running fold CacheStats::merge
+        // implements (the fleet engine's merge path).
+        let mut fold = CacheStats::default();
+        for c in &caches {
+            fold.merge(c);
+        }
+        prop_assert_eq!(summary.fleet.cache, fold);
+    }
+}

@@ -133,6 +133,31 @@ impl CostModel {
         self
     }
 
+    /// Extra attention time a prefill of `suffix` tokens pays for attending
+    /// over `context` previously computed (prefix-cached) tokens, beyond the
+    /// suffix-only attention [`Self::prefill_cost`] already charges:
+    /// `attn(suffix, context + suffix) - attn(suffix, suffix)`, on the
+    /// group's GPUs. Zero when either argument is zero, so cache-off paths
+    /// pay nothing. The serving engine adds this to suffix prefills after
+    /// prefix adoption, mirroring how [`Self::chunked_prefill_cost`] spans
+    /// the chunk's attention over the processed prefix.
+    pub fn cached_context_attention_s(
+        &self,
+        suffix: u64,
+        context: u64,
+        parallel: ParallelConfig,
+    ) -> f64 {
+        if suffix == 0 || context == 0 {
+            return 0.0;
+        }
+        let m = &self.model;
+        let gpus = parallel.total_gpus() as f64;
+        let suffix = suffix as f64;
+        let extra =
+            m.attention_flops(suffix, context as f64 + suffix) - m.attention_flops(suffix, suffix);
+        extra.max(0.0) / gpus / self.gpu.effective_flops()
+    }
+
     /// Predicted cost of a **prefill** iteration.
     ///
     /// `input_lens` are the prompt lengths of the requests in the batch;

@@ -97,6 +97,10 @@ impl IndependentInstancesScheduler {
         let needed = self.reserved(req);
         let mut best: Option<(InstanceId, u64)> = None;
         for &(inst, free) in &view.pool.free_slots() {
+            // Reclaimable retained prefixes count as free (the engine
+            // evicts them at prefill commit); zero extra when the tier is
+            // off.
+            let free = free + view.pool.prefix_retained_on(inst);
             if free >= needed && best.map(|(_, b)| free > b).unwrap_or(true) {
                 best = Some((inst, free));
             }
@@ -167,11 +171,14 @@ impl Scheduler for IndependentInstancesScheduler {
                     // Keep high-watermark headroom on the chosen replica
                     // (an empty replica always qualifies) so the restored
                     // request does not immediately re-create the pressure
-                    // that evicted it.
+                    // that evicted it. Reclaimable retained prefixes count
+                    // as free / not-used throughout.
                     let pool_i = view.pool.instance(inst);
+                    let reclaimable = view.pool.prefix_retained_on(inst);
+                    let free = free + reclaimable;
+                    let used = pool_i.used() - reclaimable;
                     let head = (cfg.high_watermark * pool_i.capacity() as f64).floor() as u64;
-                    let fits =
-                        free >= tokens && (pool_i.used() + tokens <= head || pool_i.used() == 0);
+                    let fits = free >= tokens && (used + tokens <= head || used == 0);
                     if fits && best.map(|(_, b)| free > b).unwrap_or(true) {
                         best = Some((inst, free));
                     }
@@ -211,11 +218,12 @@ impl Scheduler for IndependentInstancesScheduler {
             // recreate the stall it was evicted to clear.
             let budget = budget_per_instance.entry(inst).or_insert_with(|| {
                 let pool_i = view.pool.instance(inst);
+                let reclaimable = view.pool.prefix_retained_on(inst);
                 match &self.pressure {
-                    None => pool_i.free(),
+                    None => pool_i.free() + reclaimable,
                     Some(cfg) => {
                         let target = (cfg.low_watermark * pool_i.capacity() as f64).floor() as u64;
-                        target.saturating_sub(pool_i.used())
+                        target.saturating_sub(pool_i.used() - reclaimable)
                     }
                 }
             });
@@ -226,9 +234,10 @@ impl Scheduler for IndependentInstancesScheduler {
             // band forever, even with the whole replica drained. A sole
             // resident always fits to completion (the oversize reject
             // bounds input + max_output by one instance's capacity).
-            let empty_bypass = *tokens == 0 && view.pool.instance(inst).used() == 0;
+            let reclaimable = view.pool.prefix_retained_on(inst);
+            let empty_bypass = *tokens == 0 && view.pool.instance(inst).used() - reclaimable == 0;
             let affordable = (needed <= *budget && needed <= budget_left)
-                || (empty_bypass && needed <= view.pool.instance(inst).free());
+                || (empty_bypass && needed <= view.pool.instance(inst).free() + reclaimable);
             if *tokens >= saturation || !affordable {
                 continue;
             }
@@ -266,7 +275,8 @@ impl Scheduler for IndependentInstancesScheduler {
             // wholesale and advances nobody. (Pressure off keeps the full
             // batch: conservative reservation guarantees the slots.)
             if self.pressure.is_some() {
-                let free = view.pool.instance(inst).free() as usize;
+                let free =
+                    (view.pool.instance(inst).free() + view.pool.prefix_retained_on(inst)) as usize;
                 if free == 0 {
                     continue;
                 }

@@ -96,9 +96,13 @@ pub fn dispatch_with_reserve(
         };
     }
 
-    let mut free_slots = view
-        .free_slots_on(&candidate_instances)
-        .min(admission_budget);
+    // Reclaimable retained prefixes count as free for admission: the
+    // engine evicts them before committing the prefill placement (and the
+    // pending view's suffix lengths already price any prefix the request
+    // itself will adopt). Zero extra slots when the prefix tier is off.
+    let mut free_slots = (view.free_slots_on(&candidate_instances)
+        + view.reclaimable_slots_on(&candidate_instances))
+    .min(admission_budget);
     let mut budget_left = admission_budget;
     let saturation = saturation_tokens(view, candidate_instances.len().max(1));
     let mut remaining: Vec<&PendingRequest> = view.pending.iter().collect();
@@ -132,7 +136,8 @@ pub fn dispatch_with_reserve(
             if remaining.is_empty() || admitted_lens.iter().sum::<u64>() >= saturation {
                 break;
             }
-            let extra_free: u64 = view.free_slots_on(&group.instances);
+            let extra_free: u64 =
+                view.free_slots_on(&group.instances) + view.reclaimable_slots_on(&group.instances);
             // Which of the remaining requests could be admitted using this
             // group's spare slots (on top of any slots still free), within
             // what is left of the admission budget?

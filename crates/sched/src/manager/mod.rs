@@ -131,7 +131,9 @@ impl Scheduler for LoongServeScheduler {
             // An empty pool admits at least the FCFS head on physical
             // capacity alone: the watermark budget would otherwise starve
             // any request larger than the low-watermark band forever.
-            if view.pool.total_used() == 0 {
+            // "Empty" means no *active* KV — reclaimable retained prefixes
+            // do not block the bypass.
+            if view.pool.active_used() == 0 {
                 if let Some(head) = view.pending.first() {
                     admission_budget = admission_budget
                         .max(cfg.admission_reserve(head.input_len, head.max_output_len));

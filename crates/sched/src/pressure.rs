@@ -128,7 +128,10 @@ impl PressureConfig {
     pub fn admission_budget(&self, view: &SchedulerView<'_>) -> u64 {
         let capacity = view.pool.total_capacity();
         let target = (self.low_watermark * capacity as f64).floor() as u64;
-        target.saturating_sub(view.pool.total_used())
+        // Active used only: retained prefixes are reclaimable, so they
+        // must not consume admission headroom (see
+        // [`SchedulerView::kv_utilization`]).
+        target.saturating_sub(view.pool.active_used())
     }
 }
 
@@ -169,7 +172,10 @@ fn pressure_actions_impl(
     if capacity == 0 {
         return Vec::new();
     }
-    let used = view.pool.total_used();
+    // Active used only: a pool crowded by reclaimable retained prefixes is
+    // not under pressure — evicting active decodes to make room for a
+    // cache would be backwards.
+    let used = view.pool.active_used();
     let utilization = used as f64 / capacity as f64;
     let mut actions = Vec::new();
     let mut victims: Vec<loong_simcore::ids::RequestId> = Vec::new();
@@ -216,7 +222,10 @@ fn pressure_actions_impl(
     if rescue {
         let oldest = view.decoding.first().map(|d| d.id);
         for (inst, free) in view.pool.free_slots() {
-            if free > 0 {
+            // An instance whose only congestion is reclaimable retained
+            // prefixes is not stalled: the engine evicts them the moment a
+            // decode append needs the slot.
+            if free + view.pool.prefix_retained_on(inst) > 0 {
                 continue;
             }
             if let Some(d) = view.decoding.iter().rev().find(|d| {

@@ -1,0 +1,101 @@
+//! Prefix-affinity routing for multi-turn workloads.
+
+use super::{argmin_by_key, ReplicaLoad, RouteRequest, Router};
+use loong_simcore::ids::{ConversationId, ReplicaId};
+use std::collections::BTreeMap;
+
+/// Routes follow-up turns to the replica that served their conversation's
+/// previous turns — the replica whose unified KV pool retains the shared
+/// prefix — and falls back to least-KV-load placement for first turns and
+/// untagged requests.
+///
+/// Prefix reuse is replica-local: a retained prefix lives in one replica's
+/// device pool, so a follow-up routed anywhere else re-prefills its whole
+/// history no matter how good the cache is. Affinity is therefore the fleet
+/// half of the prefix-cache tier. The conversation→replica map grows by one
+/// entry per conversation (O(conversations) state, O(log n) per decision)
+/// and is never invalidated: even if the replica has since evicted the
+/// prefix, it remains the only replica that could still hold it.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixAffinityRouter {
+    assigned: BTreeMap<ConversationId, ReplicaId>,
+}
+
+impl PrefixAffinityRouter {
+    /// Creates a prefix-affinity router with an empty conversation map.
+    pub fn new() -> Self {
+        PrefixAffinityRouter {
+            assigned: BTreeMap::new(),
+        }
+    }
+
+    /// Number of conversations with a pinned replica.
+    pub fn conversations(&self) -> usize {
+        self.assigned.len()
+    }
+}
+
+impl Router for PrefixAffinityRouter {
+    fn name(&self) -> String {
+        "prefix-affinity".to_string()
+    }
+
+    fn route(&mut self, request: &RouteRequest, loads: &[ReplicaLoad]) -> ReplicaId {
+        let Some(conversation) = request.conversation else {
+            return argmin_by_key(loads, |l| l.kv_tokens);
+        };
+        if let Some(&replica) = self.assigned.get(&conversation) {
+            return replica;
+        }
+        let replica = argmin_by_key(loads, |l| l.kv_tokens);
+        self.assigned.insert(conversation, replica);
+        replica
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::req;
+    use super::*;
+    use crate::router::FleetLoadTracker;
+
+    fn conv_req(id: u64, input: u64, conversation: u64) -> RouteRequest {
+        RouteRequest {
+            conversation: Some(ConversationId(conversation)),
+            ..req(id, input, 64)
+        }
+    }
+
+    #[test]
+    fn follow_ups_stick_to_the_first_turn_replica() {
+        let mut router = PrefixAffinityRouter::new();
+        let mut tracker = FleetLoadTracker::new(2);
+        // Turn 0 of conversation 7 lands on the emptiest replica (0).
+        let first = conv_req(0, 1_000, 7);
+        let r0 = router.route(&first, tracker.loads());
+        assert_eq!(r0, ReplicaId(0));
+        tracker.on_assign(r0, &first);
+        // Load replica 0 heavily: a fresh conversation prefers replica 1...
+        tracker.on_assign(ReplicaId(0), &req(1, 500_000, 64));
+        assert_eq!(
+            router.route(&conv_req(2, 1_000, 8), tracker.loads()),
+            ReplicaId(1)
+        );
+        // ...but conversation 7's follow-up still goes to replica 0, where
+        // its prefix is retained.
+        assert_eq!(
+            router.route(&conv_req(3, 3_000, 7), tracker.loads()),
+            ReplicaId(0)
+        );
+        assert_eq!(router.conversations(), 2);
+    }
+
+    #[test]
+    fn untagged_requests_fall_back_to_least_kv() {
+        let mut router = PrefixAffinityRouter::new();
+        let mut tracker = FleetLoadTracker::new(2);
+        tracker.on_assign(ReplicaId(0), &req(0, 50_000, 64));
+        assert_eq!(router.route(&req(1, 10, 10), tracker.loads()), ReplicaId(1));
+        assert_eq!(router.conversations(), 0);
+    }
+}

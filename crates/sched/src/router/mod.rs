@@ -20,19 +20,21 @@
 //! strictly-less comparison), and the power-of-two-choices policy draws its
 //! probe pairs from a seeded [`SimRng`] substream.
 
+mod affinity;
 mod jsq;
 mod least_kv;
 mod p2c;
 mod passthrough;
 mod round_robin;
 
+pub use affinity::PrefixAffinityRouter;
 pub use jsq::JoinShortestQueueRouter;
 pub use least_kv::LeastKvLoadRouter;
 pub use p2c::PowerOfTwoChoicesRouter;
 pub use passthrough::PassthroughRouter;
 pub use round_robin::RoundRobinRouter;
 
-use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::ids::{ConversationId, ReplicaId, RequestId};
 use loong_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +53,10 @@ pub struct RouteRequest {
     pub input_len: u64,
     /// User-declared bound on the output length.
     pub max_output_len: u64,
+    /// The request's conversation, if it is a multi-turn follow-up. A real
+    /// frontend knows this at admission (it is the session the request
+    /// arrived on), so affinity policies may use it.
+    pub conversation: Option<ConversationId>,
 }
 
 impl RouteRequest {
@@ -185,6 +191,10 @@ pub enum RouterPolicy {
         /// Seed of the probe-order RNG substream.
         seed: u64,
     },
+    /// Pin every conversation to the replica that served its first turn
+    /// (where the prefix cache retains its context); first turns and
+    /// untagged requests fall back to least-KV-load placement.
+    PrefixAffinity,
 }
 
 impl RouterPolicy {
@@ -196,6 +206,7 @@ impl RouterPolicy {
             RouterPolicy::JoinShortestQueue,
             RouterPolicy::LeastKvLoad,
             RouterPolicy::PowerOfTwoChoices { seed: 0x90f1ee7 },
+            RouterPolicy::PrefixAffinity,
         ]
     }
 
@@ -209,6 +220,7 @@ impl RouterPolicy {
             RouterPolicy::PowerOfTwoChoices { seed } => {
                 Box::new(PowerOfTwoChoicesRouter::new(seed))
             }
+            RouterPolicy::PrefixAffinity => Box::new(PrefixAffinityRouter::new()),
         }
     }
 
@@ -220,6 +232,7 @@ impl RouterPolicy {
             RouterPolicy::JoinShortestQueue => "join-shortest-queue",
             RouterPolicy::LeastKvLoad => "least-kv-load",
             RouterPolicy::PowerOfTwoChoices { .. } => "power-of-two-choices",
+            RouterPolicy::PrefixAffinity => "prefix-affinity",
         }
     }
 }
@@ -234,6 +247,7 @@ mod tests {
             arrival: SimTime::from_secs(id as f64),
             input_len,
             max_output_len,
+            conversation: None,
         }
     }
 

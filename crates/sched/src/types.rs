@@ -25,7 +25,11 @@ pub struct PendingRequest {
     pub id: RequestId,
     /// Arrival time (the queue is kept in FCFS order).
     pub arrival: SimTime,
-    /// Prompt length in tokens.
+    /// Prompt tokens the prefill still has to process. With the prefix
+    /// cache enabled this is the *uncached suffix* (re-matched at every
+    /// scheduling point), so admission reservations and the batching DP
+    /// budget price only the work a prefill would actually do; without it,
+    /// the full prompt as before.
     pub input_len: u64,
     /// Prompt tokens already processed by previous chunked-prefill
     /// iterations (zero for untouched requests).
@@ -181,10 +185,26 @@ impl SchedulerView<'_> {
             .collect()
     }
 
-    /// Device KV pool utilisation in `[0, 1]` — the primary pressure signal
-    /// watermark policies compare against.
+    /// Device KV pool utilisation of the **active working set** in
+    /// `[0, 1]` — the primary pressure signal watermark policies compare
+    /// against. Retained prefix-cache entries are excluded: they are
+    /// reclaimable on demand (the engine evicts them before committing any
+    /// placement that needs their slots), so counting them as used would
+    /// pause admission on a full cache while pinning the very requests
+    /// whose prefills would shrink it. Identical to the raw device
+    /// utilisation when the prefix tier is disabled.
     pub fn kv_utilization(&self) -> f64 {
-        self.pool.device_utilization()
+        self.pool.active_utilization()
+    }
+
+    /// Reclaimable (retained prefix-cache) slots on a set of instances.
+    /// Admission may treat these as free; the engine evicts as needed at
+    /// execution. Always zero when the prefix tier is disabled.
+    pub fn reclaimable_slots_on(&self, instances: &[InstanceId]) -> u64 {
+        instances
+            .iter()
+            .map(|&i| self.pool.prefix_retained_on(i))
+            .sum()
     }
 
     /// Free slots on the host swap tier (zero when the tier is disabled).

@@ -110,6 +110,15 @@ define_id!(
     "replica"
 );
 
+define_id!(
+    /// Identifier of a multi-turn conversation. Requests sharing a
+    /// conversation id form strictly-growing prompt prefixes (each turn's
+    /// prompt extends the previous turn's full context), which is what the
+    /// prefix-cache tier keys its token-granularity index on.
+    ConversationId,
+    "conv"
+);
+
 /// A monotonically increasing identifier allocator.
 ///
 /// # Examples

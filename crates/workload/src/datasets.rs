@@ -16,7 +16,7 @@
 //! the serving-system comparison depends only on the joint distribution of
 //! input/output lengths, which these samplers reproduce.
 
-use loong_simcore::distributions::{Empirical, LogNormal, LogUniform, Zipf};
+use loong_simcore::distributions::{Empirical, Exponential, LogNormal, LogUniform, Zipf};
 use loong_simcore::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -168,6 +168,89 @@ impl DatasetSampler {
             input_len: self.lveval_input.sample(rng).round() as u64,
             output_len: self.lveval_output.sample(rng).round().max(8.0) as u64,
         }
+    }
+}
+
+/// Shape of a multi-turn conversation workload.
+///
+/// Calibrated to the published ShareGPT statistics the paper's multi-turn
+/// rows build on: conversations average a handful of assistant turns (the
+/// public dumps cluster around 3–4 human/assistant rounds with a long tail),
+/// and each follow-up prompt carries the full prior context plus a fresh
+/// user message. Round counts are geometric (capped), think times
+/// exponential — both sampled from forked [`SimRng`] substreams, so traces
+/// stay deterministic.
+///
+/// Think time is **open-loop**: a follow-up's arrival is the *previous
+/// turn's arrival* plus the sampled think time, fixed at trace generation
+/// (the trace cannot see service times). When queueing plus service
+/// exceeds the think time — exactly the overloaded regimes the benches
+/// probe — follow-ups arrive before their previous turn finishes and
+/// cannot hit the prefix cache, so measured hit rates fall with load by
+/// construction. A closed-loop "think after the answer" model would need
+/// arrivals generated inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiTurnProfile {
+    /// Mean turns per conversation (geometric, at least one).
+    pub mean_rounds: f64,
+    /// Hard cap on turns per conversation (the geometric tail is cut here).
+    pub max_rounds: u32,
+    /// Mean gap between consecutive turn *arrivals* of one conversation,
+    /// in seconds (exponential; open-loop — see the type docs).
+    pub mean_think_s: f64,
+}
+
+impl MultiTurnProfile {
+    /// The ShareGPT-calibrated profile: ~3.5 turns per conversation on
+    /// average, capped at 16, with ~30 s of user think time between turns.
+    pub fn sharegpt() -> Self {
+        MultiTurnProfile {
+            mean_rounds: 3.5,
+            max_rounds: 16,
+            mean_think_s: 30.0,
+        }
+    }
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mean_rounds < 1.0 {
+            return Err(format!(
+                "mean rounds must be at least 1, got {}",
+                self.mean_rounds
+            ));
+        }
+        if self.max_rounds == 0 {
+            return Err("max rounds must be positive".to_string());
+        }
+        if self.mean_think_s <= 0.0 {
+            return Err(format!(
+                "mean think time must be positive, got {}",
+                self.mean_think_s
+            ));
+        }
+        Ok(())
+    }
+
+    /// Samples a conversation's turn count: geometric with the configured
+    /// mean, starting at one turn, capped at `max_rounds`. A geometric on
+    /// `{1, 2, ...}` with success probability `p = 1/mean` is the floor of
+    /// an exponential with rate `-ln(1 - p)`, plus one.
+    pub fn sample_rounds(&self, rng: &mut SimRng) -> u32 {
+        let p = (1.0 / self.mean_rounds).min(1.0);
+        if p >= 1.0 {
+            return 1;
+        }
+        let rate = -(1.0 - p).ln();
+        let rounds = 1 + Exponential::new(rate).sample(rng).floor() as u32;
+        rounds.min(self.max_rounds)
+    }
+
+    /// Samples the think time before a follow-up turn, in seconds. The
+    /// floor keeps follow-up arrivals strictly after the previous turn.
+    pub fn sample_think_s(&self, rng: &mut SimRng) -> f64 {
+        Exponential::new(1.0 / self.mean_think_s)
+            .sample(rng)
+            .max(1e-3)
     }
 }
 
@@ -332,6 +415,50 @@ mod tests {
         for _ in 0..2000 {
             assert!(sampler.sample(&mut rng).input_len <= ZipfMixedSampler::INPUT_CAP);
         }
+    }
+
+    #[test]
+    fn multi_turn_profile_samples_in_range() {
+        let profile = MultiTurnProfile::sharegpt();
+        assert!(profile.validate().is_ok());
+        let mut rng = SimRng::seed(31);
+        let n = 4000;
+        let mut sum_rounds = 0u64;
+        for _ in 0..n {
+            let rounds = profile.sample_rounds(&mut rng);
+            assert!((1..=profile.max_rounds).contains(&rounds));
+            sum_rounds += u64::from(rounds);
+            assert!(profile.sample_think_s(&mut rng) > 0.0);
+        }
+        let mean = sum_rounds as f64 / n as f64;
+        assert!(
+            (mean - profile.mean_rounds).abs() < 0.5,
+            "geometric mean {mean} too far from {}",
+            profile.mean_rounds
+        );
+    }
+
+    #[test]
+    fn multi_turn_profile_validation_rejects_bad_values() {
+        let ok = MultiTurnProfile::sharegpt();
+        assert!(MultiTurnProfile {
+            mean_rounds: 0.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(MultiTurnProfile {
+            max_rounds: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(MultiTurnProfile {
+            mean_think_s: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -34,14 +34,16 @@ pub mod request;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
-pub use datasets::{DatasetKind, DatasetSampler, LengthSample, ZipfMixedSampler};
+pub use datasets::{DatasetKind, DatasetSampler, LengthSample, MultiTurnProfile, ZipfMixedSampler};
 pub use request::Request;
 pub use trace::{Trace, TraceStats};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::arrival::ArrivalProcess;
-    pub use crate::datasets::{DatasetKind, DatasetSampler, LengthSample, ZipfMixedSampler};
+    pub use crate::datasets::{
+        DatasetKind, DatasetSampler, LengthSample, MultiTurnProfile, ZipfMixedSampler,
+    };
     pub use crate::request::Request;
     pub use crate::trace::{Trace, TraceStats};
 }

@@ -8,7 +8,7 @@
 //! user-declared bound that the paper's dispatcher uses to reason about
 //! future KV-cache consumption (§5.1).
 
-use loong_simcore::ids::RequestId;
+use loong_simcore::ids::{ConversationId, RequestId};
 use loong_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +39,15 @@ pub struct Request {
     /// Upper bound on the output length declared by the user; schedulers may
     /// use this for admission control.
     pub max_output_len: u64,
+    /// The multi-turn conversation this request belongs to, if any. Turns of
+    /// one conversation form strictly-growing prompt prefixes (each turn's
+    /// prompt is the previous turn's full context plus the new user
+    /// message), which is what the prefix-cache tier exploits. Single-shot
+    /// requests carry `None`.
+    pub conversation: Option<ConversationId>,
+    /// Zero-based turn index within the conversation (0 for single-shot
+    /// requests).
+    pub turn: u32,
 }
 
 impl Request {
@@ -58,7 +67,18 @@ impl Request {
             input_len,
             output_len,
             max_output_len,
+            conversation: None,
+            turn: 0,
         }
+    }
+
+    /// Tags the request as turn `turn` of `conversation`. Multi-turn traces
+    /// use this so follow-up requests can be matched against the prefix
+    /// cache and routed with conversation affinity.
+    pub fn with_conversation(mut self, conversation: ConversationId, turn: u32) -> Self {
+        self.conversation = Some(conversation);
+        self.turn = turn;
+        self
     }
 
     /// Creates a request with an explicit declared output bound.
@@ -84,6 +104,8 @@ impl Request {
             input_len,
             output_len,
             max_output_len,
+            conversation: None,
+            turn: 0,
         }
     }
 
@@ -115,6 +137,17 @@ mod tests {
         assert!(r.max_output_len >= 37);
         assert_eq!(r.total_tokens(), 137);
         assert!(r.max_total_tokens() >= r.total_tokens());
+        assert_eq!(r.conversation, None);
+        assert_eq!(r.turn, 0);
+    }
+
+    #[test]
+    fn conversation_tagging_sets_both_fields() {
+        use loong_simcore::ids::ConversationId;
+        let r = Request::new(RequestId(1), SimTime::ZERO, 100, 37)
+            .with_conversation(ConversationId(4), 2);
+        assert_eq!(r.conversation, Some(ConversationId(4)));
+        assert_eq!(r.turn, 2);
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! apples-to-apples.
 
 use crate::arrival::ArrivalProcess;
-use crate::datasets::{DatasetKind, DatasetSampler, ZipfMixedSampler};
+use crate::datasets::{DatasetKind, DatasetSampler, MultiTurnProfile, ZipfMixedSampler};
 use crate::request::Request;
-use loong_simcore::ids::{IdAllocator, RequestId};
+use loong_simcore::ids::{ConversationId, IdAllocator, RequestId};
 use loong_simcore::rng::SimRng;
+use loong_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A fully materialised workload trace.
@@ -93,6 +94,82 @@ impl Trace {
         Trace {
             label: format!(
                 "Mixed Zipf={exponent:.1} @ {:.3} req/s",
+                arrivals.mean_rate()
+            ),
+            requests,
+        }
+    }
+
+    /// Generates a multi-turn conversation trace: `conversations`
+    /// conversations start according to `arrivals`, each runs for a
+    /// geometric number of turns (per `profile`), and every follow-up
+    /// turn's prompt is the previous turn's **full context** (prompt +
+    /// generated output) plus a freshly sampled user message — so turns of
+    /// one conversation form strictly-growing prompt prefixes, the shape
+    /// the prefix-cache tier reuses. Follow-ups arrive one sampled think
+    /// time after the previous turn.
+    ///
+    /// Requests across all conversations are interleaved in arrival order
+    /// and ids are assigned in that order, so the trace replays exactly
+    /// like any single-shot trace; each request carries its
+    /// `(conversation, turn)` tag.
+    pub fn generate_multi_turn(
+        dataset: DatasetKind,
+        profile: &MultiTurnProfile,
+        arrivals: ArrivalProcess,
+        conversations: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        profile.validate().expect("valid multi-turn profile");
+        let sampler = DatasetSampler::new(dataset);
+        let mut length_rng = rng.fork("mt-lengths");
+        let mut arrival_rng = rng.fork("mt-arrivals");
+        let mut rounds_rng = rng.fork("mt-rounds");
+        let mut think_rng = rng.fork("mt-think");
+        let starts = arrivals.generate(conversations, &mut arrival_rng);
+
+        // Materialise every conversation, then interleave by arrival.
+        let mut drafts: Vec<(f64, u64, u32, u64, u64)> = Vec::new();
+        for (c, start) in starts.into_iter().enumerate() {
+            let rounds = profile.sample_rounds(&mut rounds_rng);
+            let mut at = start.as_secs();
+            let mut context = 0u64; // full history (prompts + outputs) so far
+            for turn in 0..rounds {
+                let s = sampler.sample(&mut length_rng);
+                // The new prompt is the whole history plus the fresh user
+                // message; turn 0 has no history.
+                let input_len = context + s.input_len;
+                drafts.push((at, c as u64, turn, input_len, s.output_len));
+                context = input_len + s.output_len;
+                at += profile.sample_think_s(&mut think_rng);
+            }
+        }
+        // Arrival order, ties broken by (conversation, turn) so id
+        // assignment is deterministic.
+        drafts.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("arrival times are finite")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut ids = IdAllocator::<RequestId>::new();
+        let requests = drafts
+            .into_iter()
+            .map(|(at, conv, turn, input_len, output_len)| {
+                Request::new(
+                    ids.next(),
+                    SimTime::ZERO + SimDuration::from_secs(at),
+                    input_len,
+                    output_len,
+                )
+                .with_conversation(ConversationId(conv), turn)
+            })
+            .collect();
+        Trace {
+            label: format!(
+                "{} multi-turn ({} conv) @ {:.3} conv/s",
+                dataset.name(),
+                conversations,
                 arrivals.mean_rate()
             ),
             requests,
@@ -350,6 +427,74 @@ mod tests {
             vec![Request::new(RequestId(0), SimTime::ZERO, 10, 5)],
         );
         let _ = trace.split_by_assignment(2, &[2]);
+    }
+
+    #[test]
+    fn multi_turn_trace_grows_prefixes_strictly() {
+        use crate::datasets::MultiTurnProfile;
+        let mut rng = SimRng::seed(21);
+        let trace = Trace::generate_multi_turn(
+            DatasetKind::ShareGpt,
+            &MultiTurnProfile::sharegpt(),
+            ArrivalProcess::Poisson { rate: 0.5 },
+            40,
+            &mut rng,
+        );
+        assert!(trace.len() >= 40, "every conversation has at least 1 turn");
+        assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        // Ids are assigned in arrival order.
+        assert!(trace.requests.windows(2).all(|w| w[0].id < w[1].id));
+        // Per conversation: turns are dense from 0 and each turn's prompt
+        // strictly extends the previous turn's full context.
+        use std::collections::BTreeMap;
+        let mut per_conv: BTreeMap<u64, Vec<&Request>> = BTreeMap::new();
+        for r in &trace.requests {
+            per_conv
+                .entry(
+                    r.conversation
+                        .expect("multi-turn requests are tagged")
+                        .raw(),
+                )
+                .or_default()
+                .push(r);
+        }
+        assert_eq!(per_conv.len(), 40);
+        let mut multi = 0;
+        for turns in per_conv.values() {
+            for (i, r) in turns.iter().enumerate() {
+                assert_eq!(r.turn as usize, i, "turns are dense and ordered");
+            }
+            for w in turns.windows(2) {
+                assert!(
+                    w[1].input_len > w[0].input_len + w[0].output_len,
+                    "follow-up prompt must extend the full prior context"
+                );
+                assert!(w[1].arrival > w[0].arrival);
+            }
+            if turns.len() > 1 {
+                multi += 1;
+            }
+        }
+        assert!(multi > 10, "most conversations should have follow-ups");
+    }
+
+    #[test]
+    fn multi_turn_trace_is_deterministic() {
+        use crate::datasets::MultiTurnProfile;
+        let make = || {
+            let mut rng = SimRng::seed(77);
+            Trace::generate_multi_turn(
+                DatasetKind::ShareGpt,
+                &MultiTurnProfile::sharegpt(),
+                ArrivalProcess::Poisson { rate: 1.0 },
+                25,
+                &mut rng,
+            )
+        };
+        assert_eq!(make(), make());
     }
 
     #[test]

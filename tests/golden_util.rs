@@ -80,6 +80,23 @@ impl Digest {
             self.word(outcome.pressure.swap_stall_s.to_bits());
             self.word(outcome.pressure.max_outstanding_swapped_tokens);
         }
+        // Same contract for the prefix-cache block: cache-off (and
+        // never-hit) runs keep reproducing the pre-tier digests bit for
+        // bit, while cache-active runs pin every counter. `prefilled_tokens`
+        // is deliberately not folded on the zero-cache path: it is fully
+        // determined by the iteration stream the digest already pins, and
+        // folding it unconditionally would invalidate the pinned constants
+        // without adding discrimination.
+        if !outcome.cache.is_zero() {
+            self.word(outcome.cache.lookups);
+            self.word(outcome.cache.hits);
+            self.word(outcome.cache.reused_tokens);
+            self.word(outcome.cache.saved_prefill_s.to_bits());
+            self.word(outcome.cache.evicted_entries);
+            self.word(outcome.cache.evicted_tokens);
+            self.word(outcome.cache.retained_tokens_high_water);
+            self.word(outcome.prefilled_tokens);
+        }
     }
 }
 

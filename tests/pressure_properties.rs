@@ -175,6 +175,7 @@ fn armed_but_unpressured_engine_is_bit_for_bit_the_plain_engine() {
                 0.5,
             )),
             kv_capacity_override: None,
+            prefix_cache: None,
         };
         let scheduler = Box::new(LoongServeScheduler::new().with_pressure(conservative));
         ServingEngine::new(config, scheduler)
@@ -292,6 +293,7 @@ fn swap_policy_with_tiny_host_falls_back_to_recompute_and_still_terminates() {
         max_sim_time: Some(SimDuration::from_secs(WATCHDOG_S)),
         host_swap: Some(HostSwapConfig::with_tokens(&system.cluster, 600)),
         kv_capacity_override: Some(1_500),
+        prefix_cache: None,
     };
     let registry = InstanceRegistry::build(&system.cluster, tp);
     let scheduler = SystemKind::LoongServe.build_pressure_scheduler(

@@ -1,0 +1,152 @@
+//! Repository automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! Currently one task:
+//!
+//! * `bench-gate <BENCH_*.json>` — the perf-regression gate. Reads a
+//!   bench's `--smoke` output from stdin, extracts its `BENCH_SMOKE_JSON`
+//!   line (one JSON object of deterministic, wall-clock-free metrics),
+//!   and compares every metric named by the reference file's
+//!   `smoke_gate.metrics` object within `smoke_gate.tolerance` relative
+//!   tolerance (±25% by default; a zero reference admits only zero). The
+//!   delta table is always printed; any violation fails the process, which
+//!   fails `ci.sh` and the GitHub workflow.
+//!
+//! Only simulated quantities (completed counts, iterations, simulated
+//! seconds, token counts) are gated — wall-clock throughput varies across
+//! runners far beyond any useful tolerance and stays report-only.
+
+use serde::Value;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [task, reference] if task == "bench-gate" => bench_gate(reference),
+        _ => {
+            eprintln!(
+                "usage: cargo run -p xtask -- bench-gate <BENCH_*.json>  (smoke output on stdin)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Reads a `Value::Map` field, failing with a readable message.
+fn get<'a>(value: &'a Value, key: &str, context: &str) -> Result<&'a Value, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("{context}: missing key `{key}`"))
+}
+
+/// Numeric view of a JSON value (u64/i64/f64).
+fn as_number(value: &Value) -> Option<f64> {
+    match value {
+        Value::U64(v) => Some(*v as f64),
+        Value::I64(v) => Some(*v as f64),
+        Value::F64(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn bench_gate(reference_path: &str) -> ExitCode {
+    match bench_gate_inner(reference_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench-gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_gate_inner(reference_path: &str) -> Result<(), String> {
+    let reference_text = std::fs::read_to_string(reference_path)
+        .map_err(|e| format!("cannot read {reference_path}: {e}"))?;
+    let reference = serde_json::parse_value(&reference_text)
+        .map_err(|e| format!("{reference_path} is not valid JSON: {e:?}"))?;
+    let gate = get(&reference, "smoke_gate", reference_path)?;
+    let tolerance = as_number(get(gate, "tolerance", "smoke_gate")?)
+        .ok_or_else(|| "smoke_gate.tolerance must be a number".to_string())?;
+    let Value::Map(metrics) = get(gate, "metrics", "smoke_gate")? else {
+        return Err("smoke_gate.metrics must be an object".to_string());
+    };
+
+    let mut stdin = String::new();
+    std::io::stdin()
+        .read_to_string(&mut stdin)
+        .map_err(|e| format!("cannot read smoke output from stdin: {e}"))?;
+    let json_line = stdin
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix("BENCH_SMOKE_JSON "))
+        .ok_or_else(|| "no BENCH_SMOKE_JSON line found in smoke output".to_string())?;
+    let actuals = serde_json::parse_value(json_line)
+        .map_err(|e| format!("BENCH_SMOKE_JSON payload is not valid JSON: {e:?}"))?;
+
+    let bench = match actuals.get("benchmark") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => "<unnamed>".to_string(),
+    };
+    println!(
+        "bench-gate: {bench} vs {reference_path} (tolerance ±{:.0}%)",
+        tolerance * 100.0
+    );
+    println!(
+        "{:>24} {:>14} {:>14} {:>9}  verdict",
+        "metric", "reference", "actual", "delta"
+    );
+
+    let mut failures = 0usize;
+    for (name, expected) in metrics {
+        let expected = as_number(expected)
+            .ok_or_else(|| format!("smoke_gate.metrics.{name} must be a number"))?;
+        let Some(actual) = actuals.get(name).and_then(as_number) else {
+            println!(
+                "{name:>24} {expected:>14.3} {:>14} {:>9}  FAIL (missing)",
+                "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        // Relative tolerance against the reference; a zero reference (e.g.
+        // `unfinished`) admits only an exact zero.
+        let allowed = tolerance * expected.abs();
+        let delta = actual - expected;
+        let ok = delta.abs() <= allowed;
+        let delta_pct = if expected != 0.0 {
+            format!("{:+.1}%", delta / expected * 100.0)
+        } else if delta == 0.0 {
+            "+0.0%".to_string()
+        } else {
+            "inf".to_string()
+        };
+        println!(
+            "{name:>24} {expected:>14.3} {actual:>14.3} {delta_pct:>9}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} metric(s) regressed beyond ±{:.0}% of {reference_path}",
+            tolerance * 100.0
+        ));
+    }
+    println!("bench-gate: all metrics within tolerance");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_convert_and_strings_do_not() {
+        assert_eq!(as_number(&Value::U64(3)), Some(3.0));
+        assert_eq!(as_number(&Value::I64(-2)), Some(-2.0));
+        assert_eq!(as_number(&Value::F64(1.5)), Some(1.5));
+        assert_eq!(as_number(&Value::Str("x".into())), None);
+    }
+}
