@@ -68,12 +68,15 @@ smoke_gate kv_pressure "^KV_PRESSURE policy=swap .*unfinished=0" BENCH_pressure.
 step "prefix-cache smoke + gate (100-conversation multi-turn trace vs BENCH_prefix.json)"
 smoke_gate prefix_cache "^PREFIX_CACHE .*unfinished=0" BENCH_prefix.json
 
+step "reliability smoke + gate (240-request trace under crashes vs BENCH_reliability.json)"
+smoke_gate reliability "^RELIABILITY .*failed_retry=0" BENCH_reliability.json
+
 step "cargo build --examples --locked"
 cargo build --examples --locked
 
 step "run every example (small deterministic configs; a panicking example fails CI)"
 for example in quickstart compare_systems elastic_scaling_trace capacity_planning \
-               fleet_routing memory_pressure multi_turn_cache; do
+               fleet_routing memory_pressure multi_turn_cache failure_injection; do
     echo "--- example: $example"
     LOONG_SMOKE=1 cargo run -q --release --locked --example "$example" > /dev/null
 done

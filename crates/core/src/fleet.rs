@@ -39,7 +39,7 @@ use loong_metrics::pressure::PressureStats;
 use loong_metrics::record::RequestRecord;
 use loong_metrics::slo::SloSpec;
 use loong_model::config::ModelConfig;
-use loong_sched::router::{FleetLoadTracker, RouteRequest, Router, RouterPolicy};
+use loong_sched::router::{all_replicas, FleetLoadTracker, RouteRequest, Router, RouterPolicy};
 use loong_simcore::ids::{ReplicaId, RequestId};
 use loong_simcore::time::SimTime;
 use loong_workload::trace::Trace;
@@ -97,7 +97,7 @@ impl FleetConfig {
     }
 
     /// The single-replica system equivalent to one replica of this fleet.
-    fn replica_system(&self) -> SystemUnderTest {
+    pub(crate) fn replica_system(&self) -> SystemUnderTest {
         SystemUnderTest {
             kind: self.system,
             cluster: self.cluster.clone(),
@@ -200,8 +200,8 @@ impl FleetOutcome {
 
 /// A fleet of serving replicas behind a cluster router.
 pub struct FleetEngine {
-    config: FleetConfig,
-    router: Box<dyn Router>,
+    pub(crate) config: FleetConfig,
+    pub(crate) router: Box<dyn Router>,
 }
 
 impl FleetEngine {
@@ -241,6 +241,7 @@ impl FleetEngine {
     pub fn route(&mut self, trace: &Trace) -> Vec<usize> {
         self.router = self.config.policy.build();
         let mut tracker = FleetLoadTracker::new(self.config.replicas);
+        let all = all_replicas(self.config.replicas);
         let mut assignment = Vec::with_capacity(trace.requests.len());
         for req in &trace.requests {
             let route_req = RouteRequest {
@@ -250,7 +251,7 @@ impl FleetEngine {
                 max_output_len: req.max_output_len,
                 conversation: req.conversation,
             };
-            let replica = self.router.route(&route_req, tracker.loads());
+            let replica = self.router.route(&route_req, tracker.loads(), &all);
             assert!(
                 replica.index() < self.config.replicas,
                 "router returned out-of-range {replica}"

@@ -11,6 +11,9 @@
 //! * [`fleet`] — the fleet tier: N independent replicas behind a
 //!   deterministic cluster router
 //!   ([`RouterPolicy`](loong_sched::router::RouterPolicy)),
+//! * [`reliability`] — failure injection over the fleet: seeded crash
+//!   schedules, health-aware routing, retry/backoff, circuit breaking and
+//!   the exactly-once casualty ledger,
 //! * [`systems`] — the systems under comparison (LoongServe, vLLM,
 //!   DeepSpeed-MII, LightLLM SplitFuse, DistServe, and the parallelism
 //!   ablations) with their paper configurations,
@@ -43,12 +46,14 @@
 pub mod engine;
 pub mod experiment;
 pub mod fleet;
+pub mod reliability;
 pub mod report;
 pub mod systems;
 
 pub use engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
 pub use experiment::{compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec};
 pub use fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
+pub use reliability::{FailedRequest, ReliabilityConfig, ReliableFleetOutcome};
 pub use systems::{PressureMode, SystemKind, SystemUnderTest};
 
 /// Convenient glob-import of the most commonly used types across the whole
@@ -59,6 +64,7 @@ pub mod prelude {
         compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec,
     };
     pub use crate::fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
+    pub use crate::reliability::{FailedRequest, ReliabilityConfig, ReliableFleetOutcome};
     pub use crate::report;
     pub use crate::systems::{PressureMode, SystemKind, SystemUnderTest};
     pub use loong_cluster::prelude::*;

@@ -1,0 +1,708 @@
+//! The reliability tier: fleet runs under failure injection.
+//!
+//! [`FleetEngine::run_reliable`] replays a trace against a seeded
+//! [`FailureSchedule`]: replicas crash and recover on the sim clock, a
+//! crashed replica loses everything volatile (device KV, host-swap tier,
+//! prefix cache — it restarts as a fresh engine), and the requests that
+//! were in flight or queued on it surface back to the fleet frontend as
+//! *casualties*, where the [`RetryPolicy`] decides whether they get
+//! another attempt and the [`CircuitBreaker`] decides whether the replica
+//! does.
+//!
+//! # Execution model: boundary-ordered eras
+//!
+//! The fleet tier routes up front and runs replicas independently; a crash
+//! is the one event that couples them again, because its casualties must
+//! re-enter routing. The runner therefore advances through **eras**
+//! delimited by the schedule's distinct crash instants:
+//!
+//! 1. Route every arrival (original or retried) that falls inside the
+//!    era, computing the candidate set per request at its arrival instant
+//!    — replicas down per the schedule, or held open by the breaker, are
+//!    excluded; policies pick among the rest with the shared sorted
+//!    tie-break. If *no* replica is routable the request waits for the
+//!    one that becomes routable earliest (ties to the lowest id) and
+//!    arrives there at that instant.
+//! 2. At the era's closing crash instant `b`, each replica crashing at
+//!    `b` runs the segment it accumulated, capped at `b` (work completing
+//!    by `b` counts — the crash interrupts the machine, not the ledger).
+//!    Whatever is neither completed nor rejected by `b` is a casualty:
+//!    the breaker is fed one failure per casualty, and each casualty is
+//!    either re-submitted (arrival `b + backoff`, same request id, full
+//!    re-prefill on whatever replica routing picks next) or terminally
+//!    failed once its budget is spent.
+//! 3. After the last era every replica runs its remaining segment to
+//!    completion.
+//!
+//! With an empty schedule there are no boundaries: one era, one segment
+//! per replica, candidates always the full fleet — the run degenerates to
+//! [`FleetEngine::run`] decision for decision, which is why an armed but
+//! idle reliability tier stays bit-for-bit on the pinned golden digests
+//! (`tests/reliability_properties.rs` pins this against
+//! `tests/fleet_equivalence.rs`).
+//!
+//! # Exactly-once accounting
+//!
+//! Every trace request ends in exactly one of four ledgers: fleet
+//! `records` (completed), fleet `rejected` (admission rejection),
+//! `failed` (crash casualties whose retry budget ran out), or the fleet's
+//! `unfinished` count (still in flight when a *final*, uncapped segment
+//! ended — only possible under an engine-level `max_sim_time`). A
+//! casualty is not an outcome, it is a transition: the request either
+//! reappears later (retry) or moves to `failed` at the crash instant.
+//! The proptests sweep random schedules against every router policy to
+//! pin this.
+
+use crate::engine::RunOutcome;
+use crate::fleet::{FleetEngine, FleetOutcome, ReplicaOutcome};
+use loong_metrics::cache::CacheStats;
+use loong_metrics::fleet::FleetSummary;
+use loong_metrics::pressure::PressureStats;
+use loong_metrics::record::RequestRecord;
+use loong_metrics::reliability::{availability_windows, ReliabilityStats, SlaWindow};
+use loong_metrics::slo::SloSpec;
+use loong_sched::reliability::{
+    healthy_candidates, CircuitBreaker, CircuitBreakerConfig, RetryPolicy,
+};
+use loong_sched::router::{FleetLoadTracker, RouteRequest};
+use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::time::{SimDuration, SimTime};
+use loong_workload::failure::FailureSchedule;
+use loong_workload::request::Request;
+use loong_workload::trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of a fleet run under failure injection.
+#[derive(Debug, Clone)]
+pub struct ReliabilityConfig {
+    /// When replicas crash and recover. [`FailureSchedule::none`] arms the
+    /// tier without firing it.
+    pub schedule: FailureSchedule,
+    /// What a casualty gets: [`RetryPolicy::none`] fails every casualty
+    /// terminally at the crash instant.
+    pub retry: RetryPolicy,
+    /// The per-replica circuit breaker; `None` routes purely on the
+    /// schedule's up/down state.
+    pub breaker: Option<CircuitBreakerConfig>,
+    /// Width of the availability windows in the outcome's SLA series, in
+    /// sim-seconds.
+    pub sla_window_s: f64,
+}
+
+impl ReliabilityConfig {
+    /// Fail-fast handling of `schedule`: no retries, no breaker, 60 s
+    /// availability windows.
+    pub fn new(schedule: FailureSchedule) -> Self {
+        ReliabilityConfig {
+            schedule,
+            retry: RetryPolicy::none(),
+            breaker: None,
+            sla_window_s: 60.0,
+        }
+    }
+
+    /// The armed-but-idle configuration: an empty schedule, under which
+    /// `run_reliable` must reproduce `run` bit for bit.
+    pub fn disarmed() -> Self {
+        Self::new(FailureSchedule::none())
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables the per-replica circuit breaker.
+    pub fn with_breaker(mut self, breaker: CircuitBreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Sets the availability-window width.
+    pub fn with_sla_window(mut self, window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        self.sla_window_s = window_s;
+        self
+    }
+}
+
+/// A request that terminally failed: it lost an attempt to a crash and had
+/// no retry budget left.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedRequest {
+    /// The request.
+    pub id: RequestId,
+    /// The crash instant at which its budget ran out.
+    pub at: SimTime,
+    /// The replica whose crash consumed the last attempt.
+    pub replica: ReplicaId,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// The merged result of one fleet run under failure injection.
+#[derive(Debug, Clone)]
+pub struct ReliableFleetOutcome {
+    /// The fleet outcome over the attempts that resolved inside a replica:
+    /// completed records, admission rejections, per-replica breakdowns.
+    /// Per-replica `unfinished` counts cover final (uncapped) segments
+    /// only — casualties live in the reliability ledger, not here.
+    pub fleet: FleetOutcome,
+    /// Requests that terminally failed, sorted by request id.
+    pub failed: Vec<FailedRequest>,
+    /// The whole-run reliability ledger.
+    pub reliability: ReliabilityStats,
+    /// Time-resolved availability series over `sla_window_s` windows.
+    pub sla_windows: Vec<SlaWindow>,
+}
+
+impl ReliableFleetOutcome {
+    /// Total requests accounted for: completed + rejected + unfinished +
+    /// terminally failed. Equals the trace length for every schedule (the
+    /// exactly-once property).
+    pub fn total_requests(&self) -> usize {
+        self.fleet.total_requests() + self.failed.len()
+    }
+
+    /// Fleet-level metric summary with the reliability ledger and the
+    /// availability series attached.
+    pub fn summary(
+        &self,
+        system: &str,
+        workload: &str,
+        request_rate: f64,
+        slo: &SloSpec,
+    ) -> FleetSummary {
+        let mut summary = self.fleet.summary(system, workload, request_rate, slo);
+        summary.attach_reliability(self.reliability, self.sla_windows.clone());
+        summary
+    }
+}
+
+/// Routing state shared across eras: per-replica segment buckets and the
+/// assignment ledger.
+struct RoutingLedger {
+    /// Requests routed to each replica since its last crash (or the run's
+    /// start), with their effective arrival instants.
+    buckets: Vec<Vec<Request>>,
+    /// Every routing decision in decision order; retried requests appear
+    /// once per attempt.
+    assignments: Vec<(RequestId, ReplicaId)>,
+    /// Attempts assigned per replica over the whole run.
+    assigned: Vec<usize>,
+}
+
+impl FleetEngine {
+    /// Runs the fleet over a trace under failure injection: boundary-
+    /// ordered eras of routing, capped segment execution at each crash,
+    /// casualty retry/terminal-failure resolution, and a final uncapped
+    /// segment per replica. See the module docs for the execution model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule strikes a replica outside the fleet.
+    pub fn run_reliable(&mut self, trace: &Trace, rel: &ReliabilityConfig) -> ReliableFleetOutcome {
+        let n = self.config.replicas;
+        if let Some(max) = rel.schedule.max_replica() {
+            assert!(
+                max.index() < n,
+                "failure schedule strikes {max}, but the fleet has {n} replicas"
+            );
+        }
+        // Fresh router and tracker per run, exactly as `route()` does.
+        self.router = self.config.policy.build();
+        let mut tracker = FleetLoadTracker::new(n);
+        let mut breaker = rel.breaker.map(|cfg| CircuitBreaker::new(cfg, n));
+        let boundaries = rel.schedule.crash_times();
+
+        let mut ledger = RoutingLedger {
+            buckets: vec![Vec::new(); n],
+            assignments: Vec::new(),
+            assigned: vec![0usize; n],
+        };
+        let mut segments: Vec<Vec<RunOutcome>> = vec![Vec::new(); n];
+        // Retries waiting for their backoff to elapse, keyed by
+        // (re-arrival, id) — the deterministic interleave order with
+        // original arrivals. The value carries the attempt count consumed.
+        let mut pending: BTreeMap<(SimTime, RequestId), (Request, u32)> = BTreeMap::new();
+        let mut retries_used: BTreeMap<RequestId, u32> = BTreeMap::new();
+        let mut casualty_ids: BTreeSet<RequestId> = BTreeSet::new();
+        let mut failed: Vec<FailedRequest> = Vec::new();
+        let mut stats = ReliabilityStats {
+            crashes: rel.schedule.events().len() as u64,
+            downtime_s: rel.schedule.total_downtime().as_secs(),
+            ..ReliabilityStats::default()
+        };
+        let mut next_original = 0usize;
+
+        for &b in &boundaries {
+            self.drain_era(
+                trace,
+                Some(b),
+                &mut next_original,
+                &mut pending,
+                rel,
+                breaker.as_ref(),
+                &mut tracker,
+                &mut ledger,
+            );
+            // Replicas crashing at b, in ascending id order (events are
+            // sorted by (crash, replica)).
+            for event in rel.schedule.events().iter().filter(|e| e.crash == b) {
+                let replica = event.replica;
+                let bucket = std::mem::take(&mut ledger.buckets[replica.index()]);
+                if bucket.is_empty() {
+                    continue;
+                }
+                let sub = Trace::from_requests(
+                    format!("{} · replica {replica}/{n} ∣ crash at {b}", trace.label),
+                    bucket.clone(),
+                );
+                let system = self
+                    .config
+                    .replica_system()
+                    .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
+                let outcome = system.build_engine(Some(&sub)).run(&sub);
+                // Casualties: assigned to this segment but neither
+                // completed nor rejected when the crash struck.
+                let resolved: BTreeSet<RequestId> = outcome
+                    .records
+                    .iter()
+                    .map(|r| r.id)
+                    .chain(outcome.rejected.iter().map(|r| r.0))
+                    .collect();
+                let mut casualties: Vec<&Request> = bucket
+                    .iter()
+                    .filter(|req| !resolved.contains(&req.id))
+                    .collect();
+                casualties.sort_by_key(|req| req.id);
+                for req in casualties {
+                    stats.failed_attempts += 1;
+                    casualty_ids.insert(req.id);
+                    if let Some(bk) = breaker.as_mut() {
+                        bk.record_failure(replica, b);
+                    }
+                    let used = retries_used.get(&req.id).copied().unwrap_or(0);
+                    if rel.retry.allows(used) {
+                        let attempt = used + 1;
+                        retries_used.insert(req.id, attempt);
+                        let mut retry = req.clone();
+                        retry.arrival = b + rel.retry.backoff(attempt);
+                        stats.retries_scheduled += 1;
+                        stats.re_prefilled_tokens += retry.input_len;
+                        pending.insert((retry.arrival, retry.id), (retry, attempt));
+                    } else {
+                        stats.retries_exhausted += 1;
+                        failed.push(FailedRequest {
+                            id: req.id,
+                            at: b,
+                            replica,
+                            reason: format!(
+                                "{replica} crashed at {b} with no retry budget left \
+                                 ({used} of {} used)",
+                                rel.retry.max_retries
+                            ),
+                        });
+                    }
+                }
+                segments[replica.index()].push(outcome);
+            }
+        }
+
+        // Final era and final (uncapped) segment of every replica.
+        self.drain_era(
+            trace,
+            None,
+            &mut next_original,
+            &mut pending,
+            rel,
+            breaker.as_ref(),
+            &mut tracker,
+            &mut ledger,
+        );
+        let system = self.config.replica_system();
+        for (r, segment) in segments.iter_mut().enumerate().take(n) {
+            let bucket = std::mem::take(&mut ledger.buckets[r]);
+            let sub = Trace::from_requests(format!("{} · replica {r}/{n}", trace.label), bucket);
+            let outcome = system.build_engine(Some(&sub)).run(&sub);
+            segment.push(outcome);
+        }
+
+        // Merge, mirroring the plain fleet merge: records and rejections
+        // in request-id order, counters summed in replica-id order.
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut rejected: Vec<(RequestId, String)> = Vec::new();
+        let mut unfinished = 0usize;
+        let mut sim_time = SimTime::ZERO;
+        let mut iterations = 0u64;
+        let mut migration_bytes = 0.0f64;
+        let mut scheduler_calls = 0u64;
+        let mut pressure = PressureStats::default();
+        let mut cache = CacheStats::default();
+        let mut per_replica = Vec::with_capacity(n);
+        for (r, segs) in segments.into_iter().enumerate() {
+            let outcome = merge_segments(segs);
+            records.extend(outcome.records.iter().copied());
+            rejected.extend(outcome.rejected.iter().cloned());
+            unfinished += outcome.unfinished;
+            sim_time = sim_time.max(outcome.sim_time);
+            iterations += outcome.iterations;
+            migration_bytes += outcome.migration_bytes;
+            scheduler_calls += outcome.scheduler_calls;
+            pressure.merge(&outcome.pressure);
+            cache.merge(&outcome.cache);
+            per_replica.push(ReplicaOutcome {
+                replica: ReplicaId::from(r),
+                assigned: ledger.assigned[r],
+                outcome,
+            });
+        }
+        records.sort_by_key(|r| r.id);
+        rejected.sort_by_key(|r| r.0);
+        failed.sort_by_key(|f| f.id);
+
+        stats.recovered_requests = casualty_ids
+            .iter()
+            .filter(|id| records.binary_search_by_key(*id, |r| r.id).is_ok())
+            .count() as u64;
+        if let Some(bk) = &breaker {
+            stats.breaker_opens = bk.opens();
+        }
+        let failure_instants: Vec<SimTime> = failed.iter().map(|f| f.at).collect();
+        let sla_windows = availability_windows(rel.sla_window_s, &records, &failure_instants);
+
+        ReliableFleetOutcome {
+            fleet: FleetOutcome {
+                per_replica,
+                assignments: ledger.assignments,
+                records,
+                rejected,
+                unfinished,
+                sim_time,
+                iterations,
+                migration_bytes,
+                scheduler_calls,
+                pressure,
+                cache,
+            },
+            failed,
+            reliability: stats,
+            sla_windows,
+        }
+    }
+
+    /// Routes every arrival — original trace requests and pending retries
+    /// interleaved by (arrival, id) — strictly before `end` (all of them
+    /// when `end` is `None`).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_era(
+        &mut self,
+        trace: &Trace,
+        end: Option<SimTime>,
+        next_original: &mut usize,
+        pending: &mut BTreeMap<(SimTime, RequestId), (Request, u32)>,
+        rel: &ReliabilityConfig,
+        breaker: Option<&CircuitBreaker>,
+        tracker: &mut FleetLoadTracker,
+        ledger: &mut RoutingLedger,
+    ) {
+        let in_era = |t: SimTime| end.is_none_or(|e| t < e);
+        loop {
+            let original = trace
+                .requests
+                .get(*next_original)
+                .filter(|req| in_era(req.arrival));
+            let retry_key = pending
+                .first_key_value()
+                .map(|(&key, _)| key)
+                .filter(|&(at, _)| in_era(at));
+            // Pick the earlier of the two streams by (arrival, id); an
+            // original can never share its id with a pending retry, so the
+            // order is total.
+            match (original, retry_key) {
+                (None, None) => break,
+                (Some(req), retry) => {
+                    if let Some(key) = retry {
+                        if key < (req.arrival, req.id) {
+                            let (retry_req, _) = pending.remove(&key).expect("key just seen");
+                            self.route_attempt(retry_req, rel, breaker, tracker, ledger);
+                            continue;
+                        }
+                    }
+                    let req = req.clone();
+                    *next_original += 1;
+                    self.route_attempt(req, rel, breaker, tracker, ledger);
+                }
+                (None, Some(key)) => {
+                    let (retry_req, _) = pending.remove(&key).expect("key just seen");
+                    self.route_attempt(retry_req, rel, breaker, tracker, ledger);
+                }
+            }
+        }
+    }
+
+    /// Routes one attempt at its arrival instant over the healthy
+    /// candidate set, falling back to wait-for-earliest-recovery when no
+    /// replica is routable.
+    fn route_attempt(
+        &mut self,
+        req: Request,
+        rel: &ReliabilityConfig,
+        breaker: Option<&CircuitBreaker>,
+        tracker: &mut FleetLoadTracker,
+        ledger: &mut RoutingLedger,
+    ) {
+        let n = self.config.replicas;
+        let t = req.arrival;
+        let candidates = healthy_candidates(n, |r| {
+            rel.schedule.is_down(r, t) || breaker.is_some_and(|b| b.is_open(r, t))
+        });
+        let route_req = RouteRequest {
+            id: req.id,
+            arrival: t,
+            input_len: req.input_len,
+            max_output_len: req.max_output_len,
+            conversation: req.conversation,
+        };
+        let (replica, start) = if candidates.is_empty() {
+            // Whole fleet unroutable: the frontend holds the request for
+            // the replica that becomes routable earliest (schedule
+            // recovery and breaker cooldown both count), ties to the
+            // lowest id, and it arrives there at that instant.
+            let mut best = ReplicaId::from(0usize);
+            let mut best_ready = SimTime::ZERO;
+            for r in 0..n {
+                let rid = ReplicaId::from(r);
+                let mut ready = rel.schedule.next_up(rid, t);
+                if let Some(bk) = breaker {
+                    ready = ready.max(bk.open_until(rid));
+                }
+                if r == 0 || ready < best_ready {
+                    best = rid;
+                    best_ready = ready;
+                }
+            }
+            (best, best_ready.max(t))
+        } else {
+            (
+                self.router.route(&route_req, tracker.loads(), &candidates),
+                t,
+            )
+        };
+        assert!(
+            replica.index() < n,
+            "router returned out-of-range {replica}"
+        );
+        tracker.on_assign(replica, &route_req);
+        let mut placed = req;
+        placed.arrival = start;
+        ledger.assignments.push((placed.id, replica));
+        ledger.assigned[replica.index()] += 1;
+        ledger.buckets[replica.index()].push(placed);
+    }
+}
+
+/// Merges one replica's segment outcomes (in segment order; the last one
+/// is the final, uncapped segment). Counters sum, sim time maximises, and
+/// `unfinished` comes from the final segment alone — a capped segment's
+/// unfinished requests are crash casualties, owned by the retry ledger.
+fn merge_segments(segments: Vec<RunOutcome>) -> RunOutcome {
+    let last = segments.len() - 1;
+    let mut merged: Option<RunOutcome> = None;
+    for (i, seg) in segments.into_iter().enumerate() {
+        match &mut merged {
+            None => {
+                let mut seg = seg;
+                if i != last {
+                    seg.unfinished = 0;
+                }
+                merged = Some(seg);
+            }
+            Some(acc) => {
+                acc.records.extend(seg.records);
+                acc.rejected.extend(seg.rejected);
+                acc.unfinished = if i == last { seg.unfinished } else { 0 };
+                acc.scaling_events.extend(seg.scaling_events);
+                acc.sim_time = acc.sim_time.max(seg.sim_time);
+                acc.iterations += seg.iterations;
+                acc.migration_bytes += seg.migration_bytes;
+                acc.scheduler_calls += seg.scheduler_calls;
+                acc.pressure.merge(&seg.pressure);
+                acc.cache.merge(&seg.cache);
+                acc.prefilled_tokens += seg.prefilled_tokens;
+            }
+        }
+    }
+    merged.expect("every replica runs at least its final segment")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use crate::systems::SystemKind;
+    use loong_sched::router::RouterPolicy;
+    use loong_workload::datasets::DatasetKind;
+    use loong_workload::failure::FailureEvent;
+
+    fn small_trace(count: usize, seed: u64) -> Trace {
+        crate::experiment::WorkloadSpec::Dataset(DatasetKind::ShareGpt).generate(8.0, count, seed)
+    }
+
+    fn fleet(replicas: usize, policy: RouterPolicy) -> FleetEngine {
+        FleetEngine::new(FleetConfig::paper_fleet(
+            SystemKind::LoongServe,
+            replicas,
+            policy,
+        ))
+    }
+
+    #[test]
+    fn disarmed_run_matches_plain_run() {
+        let trace = small_trace(24, 3);
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let plain = engine.run(&trace);
+        let reliable = engine.run_reliable(&trace, &ReliabilityConfig::disarmed());
+        assert_eq!(plain.records, reliable.fleet.records);
+        assert_eq!(plain.rejected, reliable.fleet.rejected);
+        assert_eq!(plain.assignments, reliable.fleet.assignments);
+        assert_eq!(plain.unfinished, reliable.fleet.unfinished);
+        assert_eq!(plain.sim_time, reliable.fleet.sim_time);
+        assert_eq!(plain.iterations, reliable.fleet.iterations);
+        assert!(reliable.failed.is_empty());
+        assert!(reliable.reliability.is_zero());
+    }
+
+    #[test]
+    fn fail_fast_crash_fails_unresolved_requests_terminally() {
+        let trace = small_trace(24, 3);
+        // Crash replica 0 early enough that some of its requests are still
+        // in flight, with no retry budget.
+        let schedule = FailureSchedule::from_events(vec![FailureEvent::new(
+            ReplicaId(0),
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(1_000.0),
+        )]);
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let outcome = engine.run_reliable(&trace, &ReliabilityConfig::new(schedule));
+        assert_eq!(outcome.total_requests(), trace.len());
+        assert!(
+            !outcome.failed.is_empty(),
+            "an early crash with no retries must fail something"
+        );
+        assert_eq!(
+            outcome.reliability.retries_exhausted,
+            outcome.failed.len() as u64
+        );
+        assert_eq!(outcome.reliability.retries_scheduled, 0);
+        assert_eq!(outcome.reliability.crashes, 1);
+        // Terminal failures and completions are disjoint.
+        for f in &outcome.failed {
+            assert!(outcome
+                .fleet
+                .records
+                .binary_search_by_key(&f.id, |r| r.id)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn retries_recover_what_fail_fast_loses() {
+        let trace = small_trace(24, 3);
+        let schedule = || {
+            FailureSchedule::from_events(vec![FailureEvent::new(
+                ReplicaId(0),
+                SimTime::from_secs(1.0),
+                SimTime::from_secs(2.0),
+            )])
+        };
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let fail_fast = engine.run_reliable(&trace, &ReliabilityConfig::new(schedule()));
+        let retried = engine.run_reliable(
+            &trace,
+            &ReliabilityConfig::new(schedule()).with_retry(RetryPolicy::exponential(3, 0.5)),
+        );
+        assert!(!fail_fast.failed.is_empty());
+        assert!(retried.failed.is_empty(), "one crash, three retries");
+        assert_eq!(retried.fleet.records.len(), trace.len());
+        assert_eq!(
+            retried.reliability.recovered_requests,
+            fail_fast.failed.len() as u64
+        );
+        assert!(retried.reliability.re_prefilled_tokens > 0);
+        assert_eq!(retried.total_requests(), trace.len());
+    }
+
+    #[test]
+    fn breaker_keeps_a_crash_looping_replica_out_of_rotation() {
+        let trace = small_trace(30, 11);
+        // Replica 0 crash-loops; the breaker should trip and the stats
+        // ledger should say so.
+        let schedule = FailureSchedule::from_events(vec![
+            FailureEvent::new(
+                ReplicaId(0),
+                SimTime::from_secs(0.5),
+                SimTime::from_secs(0.6),
+            ),
+            FailureEvent::new(
+                ReplicaId(0),
+                SimTime::from_secs(0.7),
+                SimTime::from_secs(0.8),
+            ),
+            FailureEvent::new(
+                ReplicaId(0),
+                SimTime::from_secs(0.9),
+                SimTime::from_secs(1.0),
+            ),
+        ]);
+        let mut engine = fleet(2, RouterPolicy::JoinShortestQueue);
+        let outcome = engine.run_reliable(
+            &trace,
+            &ReliabilityConfig::new(schedule)
+                .with_retry(RetryPolicy::exponential(5, 0.1))
+                .with_breaker(CircuitBreakerConfig::new(2, 60.0, 3_600.0)),
+        );
+        assert!(outcome.reliability.breaker_opens >= 1);
+        assert_eq!(outcome.total_requests(), trace.len());
+        // With the breaker holding replica 0 open for an hour, late
+        // assignments all land on replica 1.
+        let after_trip = outcome
+            .fleet
+            .assignments
+            .iter()
+            .rev()
+            .take(5)
+            .all(|&(_, r)| r == ReplicaId(1));
+        assert!(after_trip, "breaker must exclude the crash-looping replica");
+    }
+
+    #[test]
+    fn whole_fleet_outage_waits_for_earliest_recovery() {
+        let trace = small_trace(12, 5);
+        // Both replicas down over [0, 100) / [0, 50): every early arrival
+        // must wait and land on replica 1, which recovers first.
+        let schedule = FailureSchedule::from_events(vec![
+            FailureEvent::new(
+                ReplicaId(0),
+                SimTime::from_secs(0.0),
+                SimTime::from_secs(100.0),
+            ),
+            FailureEvent::new(
+                ReplicaId(1),
+                SimTime::from_secs(0.0),
+                SimTime::from_secs(50.0),
+            ),
+        ]);
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let outcome = engine.run_reliable(
+            &trace,
+            &ReliabilityConfig::new(schedule).with_retry(RetryPolicy::exponential(1, 1.0)),
+        );
+        assert_eq!(outcome.total_requests(), trace.len());
+        // Nothing can complete before replica 1 recovers.
+        for record in &outcome.fleet.records {
+            assert!(record.finish >= SimTime::from_secs(50.0));
+        }
+    }
+}

@@ -10,6 +10,7 @@
 use crate::cache::CacheStats;
 use crate::pressure::PressureStats;
 use crate::record::RequestRecord;
+use crate::reliability::{ReliabilityStats, SlaWindow};
 use crate::slo::SloSpec;
 use crate::summary::RunSummary;
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,13 @@ pub struct FleetSummary {
     pub fleet: RunSummary,
     /// Metrics of each replica over its own records, in replica-id order.
     pub per_replica: Vec<RunSummary>,
+    /// Whole-run reliability counters. All-zero unless a failure schedule
+    /// actually struck (armed-but-idle leaves no trace).
+    pub reliability: ReliabilityStats,
+    /// Time-resolved availability: the run cut into fixed windows, each
+    /// with its completed/failed resolution counts. Empty unless attached
+    /// by a reliability run.
+    pub sla_windows: Vec<SlaWindow>,
 }
 
 impl FleetSummary {
@@ -68,7 +76,12 @@ impl FleetSummary {
                 )
             })
             .collect();
-        FleetSummary { fleet, per_replica }
+        FleetSummary {
+            fleet,
+            per_replica,
+            reliability: ReliabilityStats::default(),
+            sla_windows: Vec::new(),
+        }
     }
 
     /// Attaches per-replica memory-pressure counters (replica-id order) to
@@ -112,6 +125,28 @@ impl FleetSummary {
             merged.merge(stats);
         }
         self.fleet.cache = merged;
+    }
+
+    /// Attaches the whole-run reliability ledger and the time-resolved
+    /// availability windows to the rollup. Reliability is a fleet-scope
+    /// phenomenon — a casualty's retries hop replicas — so unlike pressure
+    /// and cache there is no per-replica split.
+    pub fn attach_reliability(&mut self, stats: ReliabilityStats, windows: Vec<SlaWindow>) {
+        self.reliability = stats;
+        self.sla_windows = windows;
+    }
+
+    /// Success ratio over the whole run: completed over resolved requests,
+    /// from the attached availability windows (1.0 when none resolved —
+    /// matching [`SlaWindow::success_ratio`]).
+    pub fn success_ratio(&self) -> f64 {
+        let completed: u64 = self.sla_windows.iter().map(|w| w.completed).sum();
+        let failed: u64 = self.sla_windows.iter().map(|w| w.failed).sum();
+        if completed + failed == 0 {
+            1.0
+        } else {
+            completed as f64 / (completed + failed) as f64
+        }
     }
 
     /// Number of replicas in the fleet.
@@ -219,6 +254,39 @@ mod tests {
         assert_eq!(s.fleet.pressure.swap_out_events, 1);
         assert_eq!(s.fleet.pressure.swap_out_bytes, 8.0);
         assert_eq!(s.fleet.pressure.max_outstanding_swapped_tokens, 400);
+    }
+
+    #[test]
+    fn reliability_rollup_attaches_ledger_and_windows() {
+        let r0 = [record(0, 0.0, 2.0)];
+        let mut s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&r0], &slo());
+        assert!(s.reliability.is_zero());
+        assert!(s.sla_windows.is_empty());
+        assert_eq!(s.success_ratio(), 1.0);
+        let stats = ReliabilityStats {
+            crashes: 1,
+            downtime_s: 10.0,
+            retries_exhausted: 1,
+            ..ReliabilityStats::default()
+        };
+        let windows = vec![
+            SlaWindow {
+                start_s: 0.0,
+                end_s: 10.0,
+                completed: 3,
+                failed: 1,
+            },
+            SlaWindow {
+                start_s: 10.0,
+                end_s: 20.0,
+                completed: 1,
+                failed: 0,
+            },
+        ];
+        s.attach_reliability(stats, windows);
+        assert_eq!(s.reliability.crashes, 1);
+        assert_eq!(s.sla_windows.len(), 2);
+        assert!((s.success_ratio() - 4.0 / 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`pressure`] — memory-pressure counters (preemptions, swap traffic),
 //! * [`cache`] — prefix-cache counters (hit rate, reused tokens, saved
 //!   prefill seconds, evictions),
+//! * [`reliability`] — failure-injection KPIs: the whole-run reliability
+//!   ledger (crashes, retries, re-prefilled tokens, MTTR) and windowed
+//!   SLA/availability series,
 //! * [`timeseries`] — binned event counters (e.g. scale-ups per 10 s),
 //! * [`summary`] — per-run summaries and markdown comparison tables,
 //! * [`fleet`] — fleet-level aggregation: merged metrics over every
@@ -42,6 +45,7 @@ pub mod fleet;
 pub mod latency;
 pub mod pressure;
 pub mod record;
+pub mod reliability;
 pub mod slo;
 pub mod summary;
 pub mod timeseries;
@@ -51,6 +55,7 @@ pub use fleet::FleetSummary;
 pub use latency::{mean, percentile, LatencySummary};
 pub use pressure::PressureStats;
 pub use record::RequestRecord;
+pub use reliability::{availability_windows, ReliabilityStats, SlaWindow};
 pub use slo::{goodput, SloPoint, SloSpec};
 pub use summary::RunSummary;
 pub use timeseries::BinnedCounter;
@@ -62,6 +67,7 @@ pub mod prelude {
     pub use crate::latency::{mean, percentile, LatencySummary};
     pub use crate::pressure::PressureStats;
     pub use crate::record::RequestRecord;
+    pub use crate::reliability::{availability_windows, ReliabilityStats, SlaWindow};
     pub use crate::slo::{goodput, SloPoint, SloSpec};
     pub use crate::summary::RunSummary;
     pub use crate::timeseries::BinnedCounter;

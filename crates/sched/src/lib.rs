@@ -15,7 +15,10 @@
 //!   selection (preempt-and-recompute vs swap-to-host) and re-admission,
 //! * [`router`] — the fleet tier's cluster router: deterministic policies
 //!   (round-robin, join-shortest-queue, least-KV-load,
-//!   power-of-two-choices) assigning arriving requests to replicas.
+//!   power-of-two-choices) assigning arriving requests to replicas,
+//! * [`reliability`] — the dispatcher's failure handling: health-aware
+//!   candidate sets, per-request retry budgets with exponential backoff,
+//!   and a per-replica count/window circuit breaker.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 pub mod baselines;
 pub mod manager;
 pub mod pressure;
+pub mod reliability;
 pub mod router;
 pub mod types;
 
@@ -44,7 +48,8 @@ pub use manager::{LoongServeConfig, LoongServeScheduler};
 pub use pressure::{
     pressure_actions, pressure_actions_with_rescue, PressureConfig, PressurePolicy,
 };
-pub use router::{FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy};
+pub use reliability::{healthy_candidates, CircuitBreaker, CircuitBreakerConfig, RetryPolicy};
+pub use router::{all_replicas, FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy};
 pub use types::{
     Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
     SchedulerView, SwappedRequest,
@@ -60,7 +65,12 @@ pub mod prelude {
     pub use crate::pressure::{
         pressure_actions, pressure_actions_with_rescue, PressureConfig, PressurePolicy,
     };
-    pub use crate::router::{FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy};
+    pub use crate::reliability::{
+        healthy_candidates, CircuitBreaker, CircuitBreakerConfig, RetryPolicy,
+    };
+    pub use crate::router::{
+        all_replicas, FleetLoadTracker, ReplicaLoad, RouteRequest, Router, RouterPolicy,
+    };
     pub use crate::types::{
         Action, DecodingRequest, PendingRequest, ScalingEvent, ScalingEventKind, Scheduler,
         SchedulerView, SwappedRequest,

@@ -1,6 +1,6 @@
 //! Prefix-affinity routing for multi-turn workloads.
 
-use super::{argmin_by_key, ReplicaLoad, RouteRequest, Router};
+use super::{argmin_among, ReplicaLoad, RouteRequest, Router};
 use loong_simcore::ids::{ConversationId, ReplicaId};
 use std::collections::BTreeMap;
 
@@ -13,9 +13,15 @@ use std::collections::BTreeMap;
 /// device pool, so a follow-up routed anywhere else re-prefills its whole
 /// history no matter how good the cache is. Affinity is therefore the fleet
 /// half of the prefix-cache tier. The conversation→replica map grows by one
-/// entry per conversation (O(conversations) state, O(log n) per decision)
-/// and is never invalidated: even if the replica has since evicted the
-/// prefix, it remains the only replica that could still hold it.
+/// entry per conversation (O(conversations) state, O(log n) per decision).
+///
+/// A pin is honoured only while the pinned replica is routable. When a
+/// crash removes it from the candidate set, the conversation **re-pins**:
+/// the fallback picks the least-KV candidate (shared [`argmin_among`]
+/// tie-break) and the map is updated, because the crashed replica lost its
+/// device pool — after recovery it holds nothing for this conversation, so
+/// the *new* replica is now the only one that could retain the re-prefilled
+/// prefix.
 #[derive(Debug, Clone, Default)]
 pub struct PrefixAffinityRouter {
     assigned: BTreeMap<ConversationId, ReplicaId>,
@@ -40,14 +46,21 @@ impl Router for PrefixAffinityRouter {
         "prefix-affinity".to_string()
     }
 
-    fn route(&mut self, request: &RouteRequest, loads: &[ReplicaLoad]) -> ReplicaId {
+    fn route(
+        &mut self,
+        request: &RouteRequest,
+        loads: &[ReplicaLoad],
+        candidates: &[ReplicaId],
+    ) -> ReplicaId {
         let Some(conversation) = request.conversation else {
-            return argmin_by_key(loads, |l| l.kv_tokens);
+            return argmin_among(loads, candidates, |l| l.kv_tokens);
         };
         if let Some(&replica) = self.assigned.get(&conversation) {
-            return replica;
+            if candidates.binary_search(&replica).is_ok() {
+                return replica;
+            }
         }
-        let replica = argmin_by_key(loads, |l| l.kv_tokens);
+        let replica = argmin_among(loads, candidates, |l| l.kv_tokens);
         self.assigned.insert(conversation, replica);
         replica
     }
@@ -55,6 +68,7 @@ impl Router for PrefixAffinityRouter {
 
 #[cfg(test)]
 mod tests {
+    use super::super::all_replicas;
     use super::super::tests::req;
     use super::*;
     use crate::router::FleetLoadTracker;
@@ -70,21 +84,22 @@ mod tests {
     fn follow_ups_stick_to_the_first_turn_replica() {
         let mut router = PrefixAffinityRouter::new();
         let mut tracker = FleetLoadTracker::new(2);
+        let all = all_replicas(2);
         // Turn 0 of conversation 7 lands on the emptiest replica (0).
         let first = conv_req(0, 1_000, 7);
-        let r0 = router.route(&first, tracker.loads());
+        let r0 = router.route(&first, tracker.loads(), &all);
         assert_eq!(r0, ReplicaId(0));
         tracker.on_assign(r0, &first);
         // Load replica 0 heavily: a fresh conversation prefers replica 1...
         tracker.on_assign(ReplicaId(0), &req(1, 500_000, 64));
         assert_eq!(
-            router.route(&conv_req(2, 1_000, 8), tracker.loads()),
+            router.route(&conv_req(2, 1_000, 8), tracker.loads(), &all),
             ReplicaId(1)
         );
         // ...but conversation 7's follow-up still goes to replica 0, where
         // its prefix is retained.
         assert_eq!(
-            router.route(&conv_req(3, 3_000, 7), tracker.loads()),
+            router.route(&conv_req(3, 3_000, 7), tracker.loads(), &all),
             ReplicaId(0)
         );
         assert_eq!(router.conversations(), 2);
@@ -94,8 +109,39 @@ mod tests {
     fn untagged_requests_fall_back_to_least_kv() {
         let mut router = PrefixAffinityRouter::new();
         let mut tracker = FleetLoadTracker::new(2);
+        let all = all_replicas(2);
         tracker.on_assign(ReplicaId(0), &req(0, 50_000, 64));
-        assert_eq!(router.route(&req(1, 10, 10), tracker.loads()), ReplicaId(1));
+        assert_eq!(
+            router.route(&req(1, 10, 10), tracker.loads(), &all),
+            ReplicaId(1)
+        );
         assert_eq!(router.conversations(), 0);
+    }
+
+    #[test]
+    fn crashed_pin_re_pins_to_a_healthy_candidate() {
+        let mut router = PrefixAffinityRouter::new();
+        let mut tracker = FleetLoadTracker::new(3);
+        let all = all_replicas(3);
+        // Conversation 5 pins to replica 0.
+        let first = conv_req(0, 2_000, 5);
+        assert_eq!(router.route(&first, tracker.loads(), &all), ReplicaId(0));
+        tracker.on_assign(ReplicaId(0), &first);
+        // Replica 0 crashes: the follow-up must re-pin among {1, 2}; with
+        // replica 2 lighter in KV, it wins over the old pin *and* over the
+        // lower-id healthy replica.
+        tracker.on_assign(ReplicaId(1), &req(1, 9_000, 64));
+        let healthy = [ReplicaId(1), ReplicaId(2)];
+        assert_eq!(
+            router.route(&conv_req(2, 2_000, 5), tracker.loads(), &healthy),
+            ReplicaId(2)
+        );
+        // The re-pin is durable: once replica 0 recovers (empty pool), the
+        // conversation stays with replica 2, which now holds its prefix.
+        assert_eq!(
+            router.route(&conv_req(3, 2_000, 5), tracker.loads(), &all),
+            ReplicaId(2)
+        );
+        assert_eq!(router.conversations(), 1);
     }
 }

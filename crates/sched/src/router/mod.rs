@@ -148,26 +148,68 @@ pub trait Router {
     /// Human-readable name used in reports (e.g. "round-robin").
     fn name(&self) -> String;
 
-    /// Chooses the replica to serve `request`. `loads` is the fleet's
-    /// current per-replica accounting, in replica-id order; the returned id
-    /// must index into it.
-    fn route(&mut self, request: &RouteRequest, loads: &[ReplicaLoad]) -> ReplicaId;
+    /// Chooses the replica to serve `request` from `candidates`. `loads`
+    /// is the fleet's current per-replica accounting, in replica-id order;
+    /// `candidates` is the **routable** subset — healthy replicas, in
+    /// strictly ascending id order, never empty (see
+    /// [`crate::reliability::healthy_candidates`]) — and the returned id
+    /// must be one of them. A failure-free fleet passes every replica
+    /// ([`all_replicas`]), which reproduces the pre-reliability behaviour
+    /// of every policy bit for bit.
+    fn route(
+        &mut self,
+        request: &RouteRequest,
+        loads: &[ReplicaLoad],
+        candidates: &[ReplicaId],
+    ) -> ReplicaId;
 }
 
-/// Selects the replica minimising `key`, breaking ties towards the lowest
-/// replica id (loads are in replica-id order and the comparison is strict).
-pub(crate) fn argmin_by_key(loads: &[ReplicaLoad], key: impl Fn(&ReplicaLoad) -> u64) -> ReplicaId {
-    assert!(!loads.is_empty(), "cannot route over an empty fleet");
-    let mut best = &loads[0];
-    let mut best_key = key(best);
-    for load in &loads[1..] {
-        let k = key(load);
+/// The full candidate set: every replica of an `n`-replica fleet, in
+/// ascending id order. What a fleet without health tracking routes over.
+pub fn all_replicas(n: usize) -> Vec<ReplicaId> {
+    (0..n).map(ReplicaId::from).collect()
+}
+
+/// Validates a candidate set: non-empty, strictly ascending, in range of
+/// `loads`. Debug-only on the hot path; policies call it on entry so every
+/// policy rejects a malformed set the same way.
+pub(crate) fn check_candidates(loads: &[ReplicaLoad], candidates: &[ReplicaId]) {
+    assert!(
+        !candidates.is_empty(),
+        "cannot route over an empty candidate set"
+    );
+    debug_assert!(
+        candidates.windows(2).all(|w| w[0] < w[1]),
+        "candidates must be strictly ascending"
+    );
+    debug_assert!(
+        candidates.last().expect("non-empty").index() < loads.len(),
+        "candidate out of range of the load table"
+    );
+}
+
+/// Selects the candidate minimising `key`, breaking ties towards the
+/// lowest replica id. This is the **one** sorted-candidate tie-break all
+/// load-comparing policies share (JSQ, least-KV, the affinity fallback):
+/// candidates are iterated in ascending id order with a strictly-less
+/// comparison, so no policy can diverge on tie-break order when the
+/// candidate set shrinks around a failure.
+pub(crate) fn argmin_among(
+    loads: &[ReplicaLoad],
+    candidates: &[ReplicaId],
+    key: impl Fn(&ReplicaLoad) -> u64,
+) -> ReplicaId {
+    check_candidates(loads, candidates);
+    let mut best = candidates[0];
+    let mut best_key = key(&loads[best.index()]);
+    for &candidate in &candidates[1..] {
+        let k = key(&loads[candidate.index()]);
         if k < best_key {
-            best = load;
+            best = candidate;
             best_key = k;
         }
     }
-    best.replica
+    best
 }
 
 /// The deterministic routing policies shipped with the fleet tier.
@@ -208,6 +250,14 @@ impl RouterPolicy {
             RouterPolicy::PowerOfTwoChoices { seed: 0x90f1ee7 },
             RouterPolicy::PrefixAffinity,
         ]
+    }
+
+    /// Every shipped policy including the passthrough identity — the set
+    /// the reliability suites quantify determinism over.
+    pub fn all_policies_with_passthrough() -> Vec<RouterPolicy> {
+        let mut policies = Self::all_policies();
+        policies.push(RouterPolicy::Passthrough);
+        policies
     }
 
     /// Builds the router implementing this policy.
@@ -275,17 +325,46 @@ mod tests {
     #[test]
     fn argmin_breaks_ties_towards_lowest_replica() {
         let mut tracker = FleetLoadTracker::new(3);
+        let all = all_replicas(3);
         // All loads equal: the winner must be replica 0.
         assert_eq!(
-            argmin_by_key(tracker.loads(), |l| l.queued_tokens),
+            argmin_among(tracker.loads(), &all, |l| l.queued_tokens),
             ReplicaId(0)
         );
         // Make replica 0 heavier; 1 and 2 tie at zero -> replica 1 wins.
         tracker.on_assign(ReplicaId(0), &req(0, 10, 10));
         assert_eq!(
-            argmin_by_key(tracker.loads(), |l| l.queued_tokens),
+            argmin_among(tracker.loads(), &all, |l| l.queued_tokens),
             ReplicaId(1)
         );
+    }
+
+    #[test]
+    fn argmin_only_considers_candidates() {
+        let tracker = FleetLoadTracker::new(4);
+        // All loads tie at zero, but replica 0 is not a candidate: the
+        // lowest *candidate* id wins, not the lowest replica id.
+        assert_eq!(
+            argmin_among(tracker.loads(), &[ReplicaId(2), ReplicaId(3)], |l| l
+                .queued_tokens),
+            ReplicaId(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate set")]
+    fn empty_candidate_set_is_rejected() {
+        let tracker = FleetLoadTracker::new(2);
+        let _ = argmin_among(tracker.loads(), &[], |l| l.queued_tokens);
+    }
+
+    #[test]
+    fn all_replicas_is_the_ascending_identity_set() {
+        assert_eq!(
+            all_replicas(3),
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]
+        );
+        assert!(all_replicas(0).is_empty());
     }
 
     #[test]

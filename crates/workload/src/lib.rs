@@ -30,11 +30,13 @@
 
 pub mod arrival;
 pub mod datasets;
+pub mod failure;
 pub mod request;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use datasets::{DatasetKind, DatasetSampler, LengthSample, MultiTurnProfile, ZipfMixedSampler};
+pub use failure::{FailureEvent, FailureSchedule};
 pub use request::Request;
 pub use trace::{Trace, TraceStats};
 
@@ -44,6 +46,7 @@ pub mod prelude {
     pub use crate::datasets::{
         DatasetKind, DatasetSampler, LengthSample, MultiTurnProfile, ZipfMixedSampler,
     };
+    pub use crate::failure::{FailureEvent, FailureSchedule};
     pub use crate::request::Request;
     pub use crate::trace::{Trace, TraceStats};
 }

@@ -19,6 +19,11 @@
 //!   bit-for-bit identical to the plain engine; the pinned goldens in
 //!   `tests/determinism_golden.rs` pin the disabled case.
 //! * **Determinism** — identically seeded overload runs digest identically.
+//! * **Failure composition** — an MMPP burst arriving while a replica is
+//!   down per a [`FailureSchedule`] concentrates on the survivors' starved
+//!   pools and still drains: pressure, retry re-routing and the casualty
+//!   ledger compose without wedging (`tests/reliability_properties.rs`
+//!   owns the tier's own contracts).
 
 use loongserve::prelude::*;
 
@@ -272,6 +277,62 @@ fn fleet_rollups_surface_per_replica_pressure_counters() {
         merged.merge(&replica.outcome.pressure);
     }
     assert_eq!(merged, outcome.pressure);
+}
+
+#[test]
+fn mmpp_burst_during_an_outage_drains_without_wedging() {
+    // Compose the two stress tiers: a bursty MMPP overload against starved
+    // swap-mode pools *and* a replica outage across the opening burst. The
+    // whole burst piles onto the surviving replica's constrained pool, the
+    // crash's casualties re-enter routing under the retry budget, and the
+    // run must still drain completely — no deadlock between the pressure
+    // machinery and the reliability tier's era-segmented execution.
+    let trace = overload_trace(100, 17);
+    let schedule = FailureSchedule::from_events(vec![FailureEvent::new(
+        ReplicaId(0),
+        SimTime::from_secs(1.0),
+        SimTime::from_secs(12.0),
+    )]);
+    let mut config =
+        FleetConfig::paper_fleet(SystemKind::LoongServe, 2, RouterPolicy::JoinShortestQueue);
+    config.pressure = PressureMode::SwapToHost;
+    config.kv_capacity_override = Some(1_500);
+    let outcome = FleetEngine::new(config).run_reliable(
+        &trace,
+        &ReliabilityConfig::new(schedule).with_retry(RetryPolicy::exponential(3, 0.5)),
+    );
+
+    // Exactly-once over the composition, and a complete drain: the only
+    // replica up during the burst has a starved pool, yet nothing wedges.
+    assert_eq!(outcome.total_requests(), trace.len());
+    assert_eq!(outcome.fleet.unfinished, 0, "burst-in-outage must drain");
+    assert!(
+        outcome.failed.is_empty(),
+        "one crash against a three-retry budget loses nothing"
+    );
+    assert!(
+        outcome.fleet.sim_time < SimTime::from_secs(WATCHDOG_S),
+        "run must finish well before the watchdog horizon (no livelock)"
+    );
+    for r in &outcome.fleet.records {
+        r.validate().expect("causally ordered record");
+    }
+
+    // The crash really cost attempts (recovered via retries, since nothing
+    // terminally failed) and the starved survivor really hit pressure.
+    assert!(
+        outcome.reliability.failed_attempts > 0,
+        "the opening burst must strand in-flight work on the crashed replica"
+    );
+    assert_eq!(
+        outcome.reliability.retries_scheduled, outcome.reliability.failed_attempts,
+        "every casualty got a retry"
+    );
+    assert!(outcome.reliability.recovered_requests > 0);
+    assert!(
+        outcome.fleet.pressure.swap_out_events > 0,
+        "the burst concentrated on a starved pool must trigger swap traffic"
+    );
 }
 
 #[test]
