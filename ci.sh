@@ -71,12 +71,16 @@ smoke_gate prefix_cache "^PREFIX_CACHE .*unfinished=0" BENCH_prefix.json
 step "reliability smoke + gate (240-request trace under crashes vs BENCH_reliability.json)"
 smoke_gate reliability "^RELIABILITY .*failed_retry=0" BENCH_reliability.json
 
+step "autoscale smoke + gate (280-event diurnal+flash trace vs BENCH_autoscale.json)"
+smoke_gate autoscale "^AUTOSCALE .*scale_ups=" BENCH_autoscale.json
+
 step "cargo build --examples --locked"
 cargo build --examples --locked
 
 step "run every example (small deterministic configs; a panicking example fails CI)"
 for example in quickstart compare_systems elastic_scaling_trace capacity_planning \
-               fleet_routing memory_pressure multi_turn_cache failure_injection; do
+               fleet_routing memory_pressure multi_turn_cache failure_injection \
+               autoscale_overload; do
     echo "--- example: $example"
     LOONG_SMOKE=1 cargo run -q --release --locked --example "$example" > /dev/null
 done

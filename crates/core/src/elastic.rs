@@ -1,0 +1,1276 @@
+//! The elasticity tier: fleet runs under SLO-driven autoscaling, admission
+//! control and load shedding.
+//!
+//! [`FleetEngine::run_elastic`] generalises the reliability tier's
+//! boundary-ordered era execution: boundaries are now the union of the
+//! failure schedule's crash instants and the autoscaler's control instants
+//! (every `control_interval_s` on the sim clock, while arrivals remain).
+//! Between boundaries the frontend routes arrivals and retries exactly as
+//! [`FleetEngine::run_reliable`] does; at each boundary the fleet may
+//! change shape:
+//!
+//! * **Crash** boundaries behave as in the reliability tier — the crashed
+//!   replica runs its segment capped at the boundary, casualties retry or
+//!   fail terminally under the [`RetryPolicy`].
+//! * **Control** boundaries observe the closed window — per-replica
+//!   unresolved backlog and the SLO attainment of the window's completions
+//!   — and hand the signals to the [`Autoscaler`]. Scale-**up** activates
+//!   the lowest-id cold (or previously retired) replicas, which become
+//!   routable only after the provisioning delay, with an empty KV pool and
+//!   a cold prefix cache. Scale-**down** *drains*: the victim leaves the
+//!   routable set immediately (the router is told via
+//!   `on_replica_removed`, so durable affinity pins are dropped), finishes
+//!   every request already routed to it, and retires when the last one
+//!   completes. **No request is ever killed by a scale event.**
+//!
+//! A crash that strikes a replica *mid-drain* interrupts the drain: the
+//! victim retires at the crash instant and whatever it had not finished
+//! becomes ordinary crash casualties, resolved by the retry policy.
+//!
+//! The [`AdmissionController`] (when armed) guards original arrivals at
+//! the frontend: while the fleet saturates, best-effort traffic is shed
+//! outright and any class whose estimated queueing delay exceeds its
+//! deadline is rejected early, behind a hysteresis band so shedding cannot
+//! flap. Retries bypass admission — a casualty is already inside the
+//! system; shedding applies at the front door only.
+//!
+//! # Equivalence
+//!
+//! An autoscaler that never fires ([`AutoscalerConfig::fixed`]) plus an
+//! admission controller that never sheds ([`AdmissionConfig::never_sheds`])
+//! still run every control boundary — observation runs happen, decisions
+//! are taken — but none of it can perturb routing or accounting, so the
+//! run reproduces the static fleet **bit for bit** on the pinned golden
+//! digests (`tests/elasticity_properties.rs` pins this against
+//! `tests/fleet_equivalence.rs`).
+//!
+//! # Exactly-once accounting
+//!
+//! Every trace request ends in exactly one of five ledgers: fleet
+//! `records` (completed), fleet `rejected` (engine admission rejection),
+//! `shed` (frontend load shedding), `failed` (crash casualties whose retry
+//! budget ran out), or the fleet's `unfinished` count. A drain moves
+//! nothing between ledgers — drained work completes; only a crash can.
+
+use crate::engine::RunOutcome;
+use crate::fleet::{FleetEngine, FleetOutcome, ReplicaOutcome};
+use crate::reliability::{merge_segments, FailedRequest};
+use loong_metrics::cache::CacheStats;
+use loong_metrics::elasticity::ElasticityStats;
+use loong_metrics::fleet::FleetSummary;
+use loong_metrics::pressure::PressureStats;
+use loong_metrics::record::RequestRecord;
+use loong_metrics::reliability::{availability_windows, ReliabilityStats, SlaWindow};
+use loong_metrics::slo::SloSpec;
+use loong_sched::elastic::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, Autoscaler, AutoscalerConfig,
+    FleetSignals, ScaleDecision, ShedReason,
+};
+use loong_sched::reliability::{healthy_candidates, RetryPolicy};
+use loong_sched::router::{FleetLoadTracker, RouteRequest};
+use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::time::{SimDuration, SimTime};
+use loong_workload::failure::FailureSchedule;
+use loong_workload::request::{Request, TrafficClass};
+use loong_workload::trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of an elastic fleet run.
+///
+/// The fleet engine must be provisioned with `autoscaler.max_replicas`
+/// replicas — the autoscaler decides how many of them are *active* at any
+/// instant; the rest are cold.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// The target-tracking fleet autoscaler. [`AutoscalerConfig::fixed`]
+    /// arms the tier without letting it fire.
+    pub autoscaler: AutoscalerConfig,
+    /// Replicas active (and routable) at t = 0. Must lie within the
+    /// autoscaler's bounds.
+    pub initial_replicas: usize,
+    /// The frontend load shedder; `None` admits everything.
+    pub admission: Option<AdmissionConfig>,
+    /// The SLO against which control windows measure attainment (the
+    /// autoscaler's scale-up signal).
+    pub signal_slo: SloSpec,
+    /// Failure injection composed with scaling. [`FailureSchedule::none`]
+    /// runs pure elasticity.
+    pub schedule: FailureSchedule,
+    /// What a crash casualty gets — exactly the reliability tier's policy.
+    pub retry: RetryPolicy,
+    /// Width of the availability windows in the outcome's SLA series, in
+    /// sim-seconds.
+    pub sla_window_s: f64,
+}
+
+impl ElasticConfig {
+    /// An elastic run under `autoscaler`, starting at its minimum size: no
+    /// shedding, no failures, no retries, 60 s availability windows.
+    pub fn new(autoscaler: AutoscalerConfig) -> Self {
+        ElasticConfig {
+            initial_replicas: autoscaler.min_replicas,
+            autoscaler,
+            admission: None,
+            signal_slo: SloSpec::default_for_lwm(),
+            schedule: FailureSchedule::none(),
+            retry: RetryPolicy::none(),
+            sla_window_s: 60.0,
+        }
+    }
+
+    /// The armed-but-idle configuration: an autoscaler pinned to exactly
+    /// `n` replicas and an admission controller that can never shed.
+    /// Control boundaries run on every window, with no possible effect —
+    /// `run_elastic` must reproduce `run` bit for bit under it.
+    pub fn armed_idle(n: usize) -> Self {
+        ElasticConfig::new(AutoscalerConfig::fixed(n))
+            .with_admission(AdmissionConfig::never_sheds())
+    }
+
+    /// Arms the frontend load shedder.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Sets the number of replicas active at t = 0.
+    pub fn with_initial(mut self, initial_replicas: usize) -> Self {
+        self.initial_replicas = initial_replicas;
+        self
+    }
+
+    /// Composes failure injection with scaling.
+    pub fn with_schedule(mut self, schedule: FailureSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the crash-casualty retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the SLO the control window measures attainment against.
+    pub fn with_signal_slo(mut self, slo: SloSpec) -> Self {
+        self.signal_slo = slo;
+        self
+    }
+
+    /// Sets the availability-window width.
+    pub fn with_sla_window(mut self, window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        self.sla_window_s = window_s;
+        self
+    }
+}
+
+/// A request shed by the frontend admission controller: it never reached a
+/// replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedRequest {
+    /// The request.
+    pub id: RequestId,
+    /// Its arrival instant (the shed instant — shedding is immediate).
+    pub at: SimTime,
+    /// The service class it arrived under.
+    pub class: TrafficClass,
+    /// Why it was shed.
+    pub reason: ShedReason,
+}
+
+/// What a fleet scale event did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetScaleKind {
+    /// A cold (or previously retired) replica was activated; it becomes
+    /// routable at `ready_at` (decision instant + provisioning delay) with
+    /// an empty KV pool and a cold prefix cache.
+    Activated {
+        /// The replica.
+        replica: ReplicaId,
+        /// When it becomes routable.
+        ready_at: SimTime,
+    },
+    /// An active replica was drained and retired. The drain started at the
+    /// event instant and took `drain_s` sim-seconds — zero when the victim
+    /// had nothing in flight.
+    Retired {
+        /// The replica.
+        replica: ReplicaId,
+        /// Drain duration (decision to retirement), in sim-seconds.
+        drain_s: f64,
+    },
+}
+
+/// One fleet scale event, in decision order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetScaleEvent {
+    /// The control boundary at which the decision was taken.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: FleetScaleKind,
+    /// Active replicas (routable or provisioning) after the event.
+    pub active_after: usize,
+}
+
+/// The merged result of one elastic fleet run.
+#[derive(Debug, Clone)]
+pub struct ElasticFleetOutcome {
+    /// The fleet outcome over the attempts that resolved inside a replica.
+    pub fleet: FleetOutcome,
+    /// Crash casualties that exhausted their retry budget, sorted by id.
+    pub failed: Vec<FailedRequest>,
+    /// Requests shed at the frontend, sorted by id.
+    pub shed: Vec<ShedRequest>,
+    /// Every scale event, in decision order.
+    pub scale_events: Vec<FleetScaleEvent>,
+    /// The effective start instant of each routing decision, parallel to
+    /// `fleet.assignments` — what the drain proptests check "no new routes
+    /// after retirement" against.
+    pub route_instants: Vec<SimTime>,
+    /// The whole-run elasticity ledger.
+    pub elasticity: ElasticityStats,
+    /// The whole-run reliability ledger (crashes composed with scaling).
+    pub reliability: ReliabilityStats,
+    /// Time-resolved availability series over `sla_window_s` windows.
+    pub sla_windows: Vec<SlaWindow>,
+}
+
+impl ElasticFleetOutcome {
+    /// Total requests accounted for: completed + rejected + unfinished +
+    /// terminally failed + shed. Equals the trace length for every
+    /// schedule and autoscaler (the exactly-once property).
+    pub fn total_requests(&self) -> usize {
+        self.fleet.total_requests() + self.failed.len() + self.shed.len()
+    }
+
+    /// Fleet-level metric summary with the reliability and elasticity
+    /// ledgers attached.
+    pub fn summary(
+        &self,
+        system: &str,
+        workload: &str,
+        request_rate: f64,
+        slo: &SloSpec,
+    ) -> FleetSummary {
+        let mut summary = self.fleet.summary(system, workload, request_rate, slo);
+        summary.attach_reliability(self.reliability, self.sla_windows.clone());
+        summary.attach_elasticity(self.elasticity);
+        summary
+    }
+
+    /// Per-class SLO attainment of the completed requests, judging each
+    /// class against the base SLO scaled by its
+    /// [`TrafficClass::slo_scale`]. Classes are looked up in the trace (the
+    /// engine's records carry no class), in shed order.
+    pub fn class_attainment(&self, trace: &Trace, base: &SloSpec) -> Vec<(TrafficClass, f64)> {
+        let class_of: BTreeMap<RequestId, TrafficClass> =
+            trace.requests.iter().map(|r| (r.id, r.class)).collect();
+        TrafficClass::all()
+            .into_iter()
+            .map(|class| {
+                let records: Vec<RequestRecord> = self
+                    .fleet
+                    .records
+                    .iter()
+                    .filter(|r| class_of.get(&r.id) == Some(&class))
+                    .copied()
+                    .collect();
+                (class, class_slo(base, class).attainment(&records))
+            })
+            .collect()
+    }
+}
+
+/// The SLO a given traffic class is judged by: the base spec with every
+/// bound scaled by [`TrafficClass::slo_scale`].
+pub fn class_slo(base: &SloSpec, class: TrafficClass) -> SloSpec {
+    let s = class.slo_scale();
+    SloSpec {
+        per_token_s: base.per_token_s * s,
+        input_s: base.input_s * s,
+        output_s: base.output_s * s,
+    }
+}
+
+/// Lifecycle of one fleet slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Life {
+    /// Provisioned but never activated: no capacity cost, not routable.
+    Cold,
+    /// Active. Routable from `since` (activation instant, or the end of
+    /// the provisioning delay for a scale-up).
+    Active { since: SimTime },
+    /// Drained and retired at `at`; re-activatable by a later scale-up.
+    Retired { at: SimTime },
+}
+
+/// Mutable state of one elastic run, threaded through the era loop.
+struct ElasticRun<'a> {
+    cfg: &'a ElasticConfig,
+    n: usize,
+    life: Vec<Life>,
+    tracker: FleetLoadTracker,
+    admission: Option<AdmissionController>,
+    buckets: Vec<Vec<Request>>,
+    segments: Vec<Vec<RunOutcome>>,
+    assignments: Vec<(RequestId, ReplicaId)>,
+    route_instants: Vec<SimTime>,
+    assigned: Vec<usize>,
+    pending: BTreeMap<(SimTime, RequestId), (Request, u32)>,
+    retries_used: BTreeMap<RequestId, u32>,
+    casualty_ids: BTreeSet<RequestId>,
+    failed: Vec<FailedRequest>,
+    shed: Vec<ShedRequest>,
+    stats: ReliabilityStats,
+    elastic: ElasticityStats,
+    scale_events: Vec<FleetScaleEvent>,
+    next_original: usize,
+    /// Fleet-wide unresolved backlog measured at the last control
+    /// boundary; the admission controller's saturation baseline.
+    last_observed_backlog: u64,
+    /// Worst-case tokens routed since that observation — the running
+    /// correction that lets admission react *between* boundaries.
+    routed_since_observation: u64,
+    /// Accumulated active span per replica (activation to retirement), in
+    /// sim-seconds; still-active spans are closed at the makespan.
+    active_spans_s: Vec<f64>,
+}
+
+impl ElasticRun<'_> {
+    /// Replicas in the `Active` state (routable or provisioning).
+    fn active_count(&self) -> usize {
+        self.life
+            .iter()
+            .filter(|l| matches!(l, Life::Active { .. }))
+            .count()
+    }
+
+    /// Replicas routable at `t`: active, past their provisioning delay.
+    fn ready_count(&self, t: SimTime) -> usize {
+        self.life
+            .iter()
+            .filter(|l| matches!(l, Life::Active { since } if *since <= t))
+            .count()
+    }
+
+    /// The frontend's admission decision for one original arrival, `None`
+    /// when the controller is unarmed.
+    fn admission_decision(&mut self, req: &Request) -> Option<AdmissionDecision> {
+        let ready = self.ready_count(req.arrival);
+        let backlog = self
+            .last_observed_backlog
+            .saturating_add(self.routed_since_observation);
+        self.admission
+            .as_mut()
+            .map(|adm| adm.admit(req.class, backlog, ready))
+    }
+
+    /// Records one shed request in the ledger and the class counters.
+    fn record_shed(&mut self, req: &Request, reason: ShedReason) {
+        match req.class {
+            TrafficClass::Interactive => self.elastic.shed_interactive += 1,
+            TrafficClass::Standard => self.elastic.shed_standard += 1,
+            TrafficClass::BestEffort => self.elastic.shed_best_effort += 1,
+        }
+        if reason == ShedReason::DeadlineExceeded {
+            self.elastic.deadline_rejections += 1;
+        }
+        self.shed.push(ShedRequest {
+            id: req.id,
+            at: req.arrival,
+            class: req.class,
+            reason,
+        });
+    }
+
+    /// Resolves the unfinished requests of a crashed (or crash-interrupted
+    /// draining) replica's segment: each becomes a retry or a terminal
+    /// failure under the retry policy, exactly as the reliability tier.
+    fn settle_casualties(
+        &mut self,
+        bucket: &[Request],
+        resolved: &BTreeSet<RequestId>,
+        replica: ReplicaId,
+        at: SimTime,
+    ) {
+        let mut casualties: Vec<&Request> = bucket
+            .iter()
+            .filter(|req| !resolved.contains(&req.id))
+            .collect();
+        casualties.sort_by_key(|req| req.id);
+        for req in casualties {
+            self.stats.failed_attempts += 1;
+            self.casualty_ids.insert(req.id);
+            let used = self.retries_used.get(&req.id).copied().unwrap_or(0);
+            if self.cfg.retry.allows(used) {
+                let attempt = used + 1;
+                self.retries_used.insert(req.id, attempt);
+                let mut retry = req.clone();
+                retry.arrival = at + self.cfg.retry.backoff(attempt);
+                self.stats.retries_scheduled += 1;
+                self.stats.re_prefilled_tokens += retry.input_len;
+                self.pending
+                    .insert((retry.arrival, retry.id), (retry, attempt));
+            } else {
+                self.stats.retries_exhausted += 1;
+                self.failed.push(FailedRequest {
+                    id: req.id,
+                    at,
+                    replica,
+                    reason: format!(
+                        "{replica} crashed at {at} with no retry budget left \
+                         ({used} of {} used)",
+                        self.cfg.retry.max_retries
+                    ),
+                });
+            }
+        }
+    }
+}
+
+impl FleetEngine {
+    /// Runs the fleet over a trace under elastic autoscaling, admission
+    /// control and (optionally) failure injection. See the module docs for
+    /// the execution model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is not provisioned at the autoscaler's maximum,
+    /// the initial size lies outside the autoscaler's bounds, a controller
+    /// configuration is invalid, or the failure schedule strikes a replica
+    /// outside the fleet.
+    pub fn run_elastic(&mut self, trace: &Trace, cfg: &ElasticConfig) -> ElasticFleetOutcome {
+        let n = self.config.replicas;
+        assert_eq!(
+            n, cfg.autoscaler.max_replicas,
+            "the fleet must be provisioned at the autoscaler's max \
+             ({} replicas), got {n}",
+            cfg.autoscaler.max_replicas
+        );
+        let mut autoscaler = Autoscaler::new(cfg.autoscaler);
+        assert!(
+            (cfg.autoscaler.min_replicas..=n).contains(&cfg.initial_replicas),
+            "initial size {} outside the autoscaler bounds {}..={n}",
+            cfg.initial_replicas,
+            cfg.autoscaler.min_replicas
+        );
+        if let Some(max) = cfg.schedule.max_replica() {
+            assert!(
+                max.index() < n,
+                "failure schedule strikes {max}, but the fleet has {n} replicas"
+            );
+        }
+        assert!(cfg.sla_window_s > 0.0, "window must be positive");
+
+        // Fresh router and tracker per run, exactly as `route()` does.
+        self.router = self.config.policy.build();
+        let mut st = ElasticRun {
+            cfg,
+            n,
+            life: (0..n)
+                .map(|r| {
+                    if r < cfg.initial_replicas {
+                        Life::Active {
+                            since: SimTime::ZERO,
+                        }
+                    } else {
+                        Life::Cold
+                    }
+                })
+                .collect(),
+            tracker: FleetLoadTracker::new(n),
+            admission: cfg.admission.map(AdmissionController::new),
+            buckets: vec![Vec::new(); n],
+            segments: vec![Vec::new(); n],
+            assignments: Vec::new(),
+            route_instants: Vec::new(),
+            assigned: vec![0usize; n],
+            pending: BTreeMap::new(),
+            retries_used: BTreeMap::new(),
+            casualty_ids: BTreeSet::new(),
+            failed: Vec::new(),
+            shed: Vec::new(),
+            stats: ReliabilityStats {
+                crashes: cfg.schedule.events().len() as u64,
+                downtime_s: cfg.schedule.total_downtime().as_secs(),
+                ..ReliabilityStats::default()
+            },
+            elastic: ElasticityStats {
+                min_active_replicas: cfg.initial_replicas as u64,
+                max_active_replicas: cfg.initial_replicas as u64,
+                ..ElasticityStats::default()
+            },
+            scale_events: Vec::new(),
+            next_original: 0,
+            last_observed_backlog: 0,
+            routed_since_observation: 0,
+            active_spans_s: vec![0.0; n],
+        };
+
+        // Boundary loop: crashes from the schedule, control instants every
+        // `control_interval_s` while arrivals (or pending retries) remain.
+        // Controllers that cannot possibly act skip control boundaries
+        // entirely — a pure-reliability run pays nothing for this tier.
+        let crash_times = cfg.schedule.crash_times();
+        let control_on = cfg.autoscaler.is_elastic() || cfg.admission.is_some();
+        let interval = cfg.autoscaler.control_interval_s;
+        let mut ci = 0usize;
+        let mut k = 1u64;
+        loop {
+            let more_work = st.next_original < trace.requests.len() || !st.pending.is_empty();
+            let next_control =
+                (control_on && more_work).then(|| SimTime::from_secs(k as f64 * interval));
+            let next_crash = crash_times.get(ci).copied();
+            let b = match (next_crash, next_control) {
+                (None, None) => break,
+                (Some(c), None) => c,
+                (None, Some(t)) => t,
+                (Some(c), Some(t)) => c.min(t),
+            };
+            self.elastic_era(trace, Some(b), &mut st);
+            // At a shared instant crashes resolve first: the control
+            // observation then sees the post-crash fleet.
+            if next_crash == Some(b) {
+                self.crash_boundary(trace, b, &mut st);
+                ci += 1;
+            }
+            if next_control == Some(b) {
+                self.control_boundary(trace, b, &mut autoscaler, &mut st);
+                k += 1;
+            }
+        }
+
+        // Final era and final (uncapped) segment of every replica; retired
+        // and cold replicas run empty buckets, keeping the merge shape
+        // identical to the reliability tier.
+        self.elastic_era(trace, None, &mut st);
+        let system = self.config.replica_system();
+        for r in 0..n {
+            let bucket = std::mem::take(&mut st.buckets[r]);
+            let sub = Trace::from_requests(format!("{} · replica {r}/{n}", trace.label), bucket);
+            let outcome = system.build_engine(Some(&sub)).run(&sub);
+            st.segments[r].push(outcome);
+        }
+
+        // Merge, mirroring the reliability tier: records and rejections in
+        // request-id order, counters summed in replica-id order.
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut rejected: Vec<(RequestId, String)> = Vec::new();
+        let mut unfinished = 0usize;
+        let mut sim_time = SimTime::ZERO;
+        let mut iterations = 0u64;
+        let mut migration_bytes = 0.0f64;
+        let mut scheduler_calls = 0u64;
+        let mut pressure = PressureStats::default();
+        let mut cache = CacheStats::default();
+        let mut per_replica = Vec::with_capacity(n);
+        let segments = std::mem::take(&mut st.segments);
+        for (r, segs) in segments.into_iter().enumerate() {
+            let outcome = merge_segments(segs);
+            records.extend(outcome.records.iter().copied());
+            rejected.extend(outcome.rejected.iter().cloned());
+            unfinished += outcome.unfinished;
+            sim_time = sim_time.max(outcome.sim_time);
+            iterations += outcome.iterations;
+            migration_bytes += outcome.migration_bytes;
+            scheduler_calls += outcome.scheduler_calls;
+            pressure.merge(&outcome.pressure);
+            cache.merge(&outcome.cache);
+            per_replica.push(ReplicaOutcome {
+                replica: ReplicaId::from(r),
+                assigned: st.assigned[r],
+                outcome,
+            });
+        }
+        records.sort_by_key(|r| r.id);
+        rejected.sort_by_key(|r| r.0);
+        st.failed.sort_by_key(|f| f.id);
+        st.shed.sort_by_key(|s| s.id);
+
+        st.stats.recovered_requests = st
+            .casualty_ids
+            .iter()
+            .filter(|id| records.binary_search_by_key(*id, |r| r.id).is_ok())
+            .count() as u64;
+        let failure_instants: Vec<SimTime> = st.failed.iter().map(|f| f.at).collect();
+        let sla_windows = availability_windows(cfg.sla_window_s, &records, &failure_instants);
+
+        // Replica-seconds: every span from activation (routable) to
+        // retirement; replicas still active close their span at the fleet
+        // makespan. The denominator of SLO-goodput per replica-second.
+        for r in 0..n {
+            if let Life::Active { since } = st.life[r] {
+                st.active_spans_s[r] += sim_time.saturating_since(since).as_secs();
+            }
+        }
+        st.elastic.replica_seconds = st.active_spans_s.iter().sum();
+
+        ElasticFleetOutcome {
+            fleet: FleetOutcome {
+                per_replica,
+                assignments: st.assignments,
+                records,
+                rejected,
+                unfinished,
+                sim_time,
+                iterations,
+                migration_bytes,
+                scheduler_calls,
+                pressure,
+                cache,
+            },
+            failed: st.failed,
+            shed: st.shed,
+            scale_events: st.scale_events,
+            route_instants: st.route_instants,
+            elasticity: st.elastic,
+            reliability: st.stats,
+            sla_windows,
+        }
+    }
+
+    /// Routes every arrival — original trace requests (behind the
+    /// admission controller) and pending retries (which bypass it)
+    /// interleaved by (arrival, id) — strictly before `end` (all of them
+    /// when `end` is `None`).
+    fn elastic_era(&mut self, trace: &Trace, end: Option<SimTime>, st: &mut ElasticRun<'_>) {
+        let in_era = |t: SimTime| end.is_none_or(|e| t < e);
+        loop {
+            let original = trace
+                .requests
+                .get(st.next_original)
+                .filter(|req| in_era(req.arrival));
+            let retry_key = st
+                .pending
+                .first_key_value()
+                .map(|(&key, _)| key)
+                .filter(|&(at, _)| in_era(at));
+            match (original, retry_key) {
+                (None, None) => break,
+                (Some(req), retry) => {
+                    if let Some(key) = retry {
+                        if key < (req.arrival, req.id) {
+                            let (retry_req, _) = st.pending.remove(&key).expect("key just seen");
+                            self.elastic_route(retry_req, st);
+                            continue;
+                        }
+                    }
+                    let req = req.clone();
+                    st.next_original += 1;
+                    if let Some(AdmissionDecision::Shed(reason)) = st.admission_decision(&req) {
+                        st.record_shed(&req, reason);
+                        continue;
+                    }
+                    self.elastic_route(req, st);
+                }
+                (None, Some(key)) => {
+                    let (retry_req, _) = st.pending.remove(&key).expect("key just seen");
+                    self.elastic_route(retry_req, st);
+                }
+            }
+        }
+    }
+
+    /// Routes one attempt at its arrival instant over the candidates that
+    /// are active, past provisioning and up per the failure schedule,
+    /// falling back to wait-for-earliest-routable when none qualifies.
+    fn elastic_route(&mut self, req: Request, st: &mut ElasticRun<'_>) {
+        let n = st.n;
+        let t = req.arrival;
+        let candidates = healthy_candidates(n, |r| {
+            !matches!(st.life[r.index()], Life::Active { since } if since <= t)
+                || st.cfg.schedule.is_down(r, t)
+        });
+        let route_req = RouteRequest {
+            id: req.id,
+            arrival: t,
+            input_len: req.input_len,
+            max_output_len: req.max_output_len,
+            conversation: req.conversation,
+        };
+        let (replica, start) = if candidates.is_empty() {
+            // Whole fleet unroutable at t: the frontend holds the request
+            // for the active replica that becomes routable earliest —
+            // provisioning delay and schedule recovery both count — ties
+            // to the lowest id.
+            let mut best: Option<(SimTime, usize)> = None;
+            for r in 0..n {
+                if let Life::Active { since } = st.life[r] {
+                    let ready = st.cfg.schedule.next_up(ReplicaId::from(r), t.max(since));
+                    if best.is_none_or(|(earliest, _)| ready < earliest) {
+                        best = Some((ready, r));
+                    }
+                }
+            }
+            let (ready, r) = best.expect("the autoscaler keeps at least min_replicas active");
+            (ReplicaId::from(r), ready.max(t))
+        } else {
+            (
+                self.router
+                    .route(&route_req, st.tracker.loads(), &candidates),
+                t,
+            )
+        };
+        assert!(
+            replica.index() < n,
+            "router returned out-of-range {replica}"
+        );
+        st.tracker.on_assign(replica, &route_req);
+        st.routed_since_observation = st
+            .routed_since_observation
+            .saturating_add(req.input_len + req.max_output_len);
+        let mut placed = req;
+        placed.arrival = start;
+        st.assignments.push((placed.id, replica));
+        st.route_instants.push(start);
+        st.assigned[replica.index()] += 1;
+        st.buckets[replica.index()].push(placed);
+    }
+
+    /// Resolves every crash striking at `b`: the crashed replica runs its
+    /// segment capped at `b` and its unresolved requests become casualties
+    /// — identical to the reliability tier.
+    fn crash_boundary(&mut self, trace: &Trace, b: SimTime, st: &mut ElasticRun<'_>) {
+        let n = st.n;
+        for event_replica in st
+            .cfg
+            .schedule
+            .events()
+            .iter()
+            .filter(|e| e.crash == b)
+            .map(|e| e.replica)
+            .collect::<Vec<_>>()
+        {
+            let replica = event_replica;
+            let bucket = std::mem::take(&mut st.buckets[replica.index()]);
+            if bucket.is_empty() {
+                // Cold, retired, or simply idle since its last flush —
+                // nothing for the crash to take.
+                continue;
+            }
+            let sub = Trace::from_requests(
+                format!("{} · replica {replica}/{n} ∣ crash at {b}", trace.label),
+                bucket.clone(),
+            );
+            let system = self
+                .config
+                .replica_system()
+                .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
+            let outcome = system.build_engine(Some(&sub)).run(&sub);
+            let resolved: BTreeSet<RequestId> = outcome
+                .records
+                .iter()
+                .map(|r| r.id)
+                .chain(outcome.rejected.iter().map(|r| r.0))
+                .collect();
+            st.settle_casualties(&bucket, &resolved, replica, b);
+            st.segments[replica.index()].push(outcome);
+        }
+    }
+
+    /// One control boundary: observe the closed window, let the autoscaler
+    /// decide, apply the decision.
+    fn control_boundary(
+        &mut self,
+        trace: &Trace,
+        b: SimTime,
+        autoscaler: &mut Autoscaler,
+        st: &mut ElasticRun<'_>,
+    ) {
+        let (signals, backlogs) = self.observe(trace, b, st);
+        st.last_observed_backlog = signals.backlog_tokens;
+        st.routed_since_observation = 0;
+        match autoscaler.decide(b.as_secs(), &signals) {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Up(count) => self.scale_up(b, count, st),
+            ScaleDecision::Down(count) => self.scale_down(trace, b, count, &backlogs, st),
+        }
+        let active = st.active_count() as u64;
+        st.elastic.min_active_replicas = st.elastic.min_active_replicas.min(active);
+        st.elastic.max_active_replicas = st.elastic.max_active_replicas.max(active);
+    }
+
+    /// Measures the window that closes at `b`: per-replica unresolved
+    /// backlog (worst-case tokens) and the SLO attainment of completions
+    /// inside the window. Observation runs replay each ready replica's
+    /// bucket capped at `b` and are then discarded — they never touch the
+    /// accounting, which is what keeps an armed-but-idle controller
+    /// bit-for-bit.
+    fn observe(&self, trace: &Trace, b: SimTime, st: &ElasticRun<'_>) -> (FleetSignals, Vec<u64>) {
+        let n = st.n;
+        let window_start = b.as_secs() - st.cfg.autoscaler.control_interval_s;
+        let mut backlogs = vec![0u64; n];
+        let mut window_records: Vec<RequestRecord> = Vec::new();
+        let mut ready = 0usize;
+        for (r, backlog) in backlogs.iter_mut().enumerate() {
+            let Life::Active { since } = st.life[r] else {
+                continue;
+            };
+            if since > b {
+                continue;
+            }
+            ready += 1;
+            if st.buckets[r].is_empty() {
+                continue;
+            }
+            let sub = Trace::from_requests(
+                format!("{} · replica {r}/{n} ∣ observe at {b}", trace.label),
+                st.buckets[r].clone(),
+            );
+            let system = self
+                .config
+                .replica_system()
+                .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
+            let outcome = system.build_engine(Some(&sub)).run(&sub);
+            let resolved: BTreeSet<RequestId> = outcome
+                .records
+                .iter()
+                .map(|rec| rec.id)
+                .chain(outcome.rejected.iter().map(|rej| rej.0))
+                .collect();
+            *backlog = st.buckets[r]
+                .iter()
+                .filter(|q| !resolved.contains(&q.id))
+                .map(|q| q.input_len + q.max_output_len)
+                .sum();
+            window_records.extend(
+                outcome
+                    .records
+                    .iter()
+                    .filter(|rec| rec.finish <= b && rec.finish.as_secs() > window_start)
+                    .copied(),
+            );
+        }
+        let signals = FleetSignals {
+            attainment: st.cfg.signal_slo.attainment(&window_records),
+            backlog_tokens: backlogs.iter().sum(),
+            active_replicas: ready,
+        };
+        (signals, backlogs)
+    }
+
+    /// Activates up to `want` cold or retired replicas (lowest id first).
+    /// Each becomes routable after the provisioning delay, with an empty
+    /// KV pool and a cold prefix cache (its engine is built fresh for the
+    /// next segment, so this falls out of the execution model).
+    fn scale_up(&mut self, b: SimTime, want: usize, st: &mut ElasticRun<'_>) {
+        let ready_at = b + SimDuration::from_secs(st.cfg.autoscaler.provisioning_delay_s);
+        let mut activated = 0usize;
+        for r in 0..st.n {
+            if activated == want {
+                break;
+            }
+            if matches!(st.life[r], Life::Cold | Life::Retired { .. }) {
+                st.life[r] = Life::Active { since: ready_at };
+                st.elastic.provisioning_s += st.cfg.autoscaler.provisioning_delay_s;
+                activated += 1;
+                let active_after = st.active_count();
+                st.scale_events.push(FleetScaleEvent {
+                    at: b,
+                    kind: FleetScaleKind::Activated {
+                        replica: ReplicaId::from(r),
+                        ready_at,
+                    },
+                    active_after,
+                });
+            }
+        }
+        if activated > 0 {
+            st.elastic.scale_up_events += 1;
+        }
+    }
+
+    /// Drains and retires up to `want` ready replicas. Victims are the
+    /// ready actives with the smallest observed backlog (ties to the
+    /// highest id — retire the newest). Each victim leaves the routable
+    /// set at `b`, finishes everything already routed to it, and retires
+    /// when its last request completes — unless a scheduled crash strikes
+    /// it mid-drain, in which case it retires at the crash and the
+    /// remainder becomes crash casualties.
+    fn scale_down(
+        &mut self,
+        trace: &Trace,
+        b: SimTime,
+        want: usize,
+        backlogs: &[u64],
+        st: &mut ElasticRun<'_>,
+    ) {
+        let mut ready: Vec<(u64, usize)> = (0..st.n)
+            .filter(|&r| matches!(st.life[r], Life::Active { since } if since <= b))
+            .map(|r| (backlogs[r], r))
+            .collect();
+        ready.sort_by(|a, other| a.0.cmp(&other.0).then(other.1.cmp(&a.1)));
+        let victims: Vec<usize> = ready.iter().take(want).map(|&(_, r)| r).collect();
+        if victims.is_empty() {
+            return;
+        }
+        st.elastic.scale_down_events += 1;
+        for r in victims {
+            let replica = ReplicaId::from(r);
+            let Life::Active { since } = st.life[r] else {
+                unreachable!("victims are selected among active replicas");
+            };
+            // Durably drop the router's state for the victim (affinity
+            // pins must not resurrect on the retired replica).
+            self.router.on_replica_removed(replica);
+            let bucket = std::mem::take(&mut st.buckets[r]);
+            let mut drain_end = b;
+            if !bucket.is_empty() {
+                let sub = Trace::from_requests(
+                    format!(
+                        "{} · replica {replica}/{} ∣ drain at {b}",
+                        trace.label, st.n
+                    ),
+                    bucket.clone(),
+                );
+                let outcome = self
+                    .config
+                    .replica_system()
+                    .build_engine(Some(&sub))
+                    .run(&sub);
+                let finish = outcome.sim_time;
+                let mid_crash = st
+                    .cfg
+                    .schedule
+                    .events()
+                    .iter()
+                    .filter(|e| e.replica == replica && e.crash > b && e.crash < finish)
+                    .map(|e| e.crash)
+                    .min();
+                if let Some(c) = mid_crash {
+                    // The crash interrupts the drain: re-run capped at the
+                    // crash; the rest are casualties. The crash boundary
+                    // itself finds an empty bucket later and skips.
+                    let capped = self
+                        .config
+                        .replica_system()
+                        .with_max_sim_time(SimDuration::from_secs(c.as_secs()))
+                        .build_engine(Some(&sub))
+                        .run(&sub);
+                    let resolved: BTreeSet<RequestId> = capped
+                        .records
+                        .iter()
+                        .map(|rec| rec.id)
+                        .chain(capped.rejected.iter().map(|rej| rej.0))
+                        .collect();
+                    st.settle_casualties(&bucket, &resolved, replica, c);
+                    st.segments[r].push(capped);
+                    drain_end = c;
+                } else {
+                    st.segments[r].push(outcome);
+                    drain_end = finish.max(b);
+                }
+            }
+            let drain_s = drain_end.saturating_since(b).as_secs();
+            st.life[r] = Life::Retired { at: drain_end };
+            st.active_spans_s[r] += drain_end.saturating_since(since).as_secs();
+            st.elastic.drains_completed += 1;
+            st.elastic.total_drain_s += drain_s;
+            if drain_s > st.elastic.max_drain_s {
+                st.elastic.max_drain_s = drain_s;
+            }
+            let active_after = st.active_count();
+            st.scale_events.push(FleetScaleEvent {
+                at: b,
+                kind: FleetScaleKind::Retired { replica, drain_s },
+                active_after,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use crate::systems::SystemKind;
+    use loong_sched::router::RouterPolicy;
+    use loong_workload::datasets::DatasetKind;
+    use loong_workload::failure::FailureEvent;
+
+    fn small_trace(count: usize, seed: u64) -> Trace {
+        crate::experiment::WorkloadSpec::Dataset(DatasetKind::ShareGpt).generate(8.0, count, seed)
+    }
+
+    fn fleet(replicas: usize, policy: RouterPolicy) -> FleetEngine {
+        FleetEngine::new(FleetConfig::paper_fleet(
+            SystemKind::LoongServe,
+            replicas,
+            policy,
+        ))
+    }
+
+    fn exactly_once(outcome: &ElasticFleetOutcome, trace: &Trace) {
+        assert_eq!(outcome.total_requests(), trace.len());
+        // The five ledgers are disjoint by id.
+        let mut seen: BTreeSet<RequestId> = BTreeSet::new();
+        for id in outcome
+            .fleet
+            .records
+            .iter()
+            .map(|r| r.id)
+            .chain(outcome.fleet.rejected.iter().map(|r| r.0))
+            .chain(outcome.failed.iter().map(|f| f.id))
+            .chain(outcome.shed.iter().map(|s| s.id))
+        {
+            assert!(seen.insert(id), "{id:?} resolved twice");
+        }
+    }
+
+    #[test]
+    fn armed_idle_run_matches_plain_run() {
+        let trace = small_trace(24, 3);
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let plain = engine.run(&trace);
+        let elastic = engine.run_elastic(&trace, &ElasticConfig::armed_idle(2));
+        assert_eq!(plain.records, elastic.fleet.records);
+        assert_eq!(plain.rejected, elastic.fleet.rejected);
+        assert_eq!(plain.assignments, elastic.fleet.assignments);
+        assert_eq!(plain.unfinished, elastic.fleet.unfinished);
+        assert_eq!(plain.sim_time, elastic.fleet.sim_time);
+        assert_eq!(plain.iterations, elastic.fleet.iterations);
+        assert!(elastic.shed.is_empty());
+        assert!(elastic.scale_events.is_empty());
+        assert!(elastic.failed.is_empty());
+        assert_eq!(elastic.elasticity.scale_up_events, 0);
+        assert_eq!(elastic.elasticity.scale_down_events, 0);
+        assert_eq!(elastic.elasticity.min_active_replicas, 2);
+        assert_eq!(elastic.elasticity.max_active_replicas, 2);
+        // Two replicas, active for the whole makespan.
+        let expected = 2.0 * plain.sim_time.as_secs();
+        assert!((elastic.elasticity.replica_seconds - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_up_activates_cold_replicas_after_provisioning() {
+        // One active replica, room for three more, a trace heavy enough to
+        // blow through the backlog threshold at the first boundary.
+        let trace = small_trace(120, 7);
+        let mut scaler = AutoscalerConfig::overload_defaults(1, 4);
+        scaler.control_interval_s = 5.0;
+        scaler.cooldown_s = 0.0;
+        scaler.scale_up_backlog_tokens = 2_000;
+        scaler.scale_down_backlog_tokens = 500;
+        let cfg = ElasticConfig::new(scaler);
+        let mut engine = fleet(4, RouterPolicy::JoinShortestQueue);
+        let outcome = engine.run_elastic(&trace, &cfg);
+        exactly_once(&outcome, &trace);
+        assert!(
+            outcome.elasticity.scale_up_events >= 1,
+            "burst must scale up"
+        );
+        let activation = outcome
+            .scale_events
+            .iter()
+            .find_map(|e| match e.kind {
+                FleetScaleKind::Activated { replica, ready_at } => Some((e.at, replica, ready_at)),
+                _ => None,
+            })
+            .expect("at least one activation");
+        let (at, replica, ready_at) = activation;
+        assert_eq!(
+            ready_at,
+            at + SimDuration::from_secs(cfg.autoscaler.provisioning_delay_s),
+            "cold replicas come up after the provisioning delay"
+        );
+        // Nothing routes to the cold replica before it is ready.
+        for (i, &(_, rep)) in outcome.fleet.assignments.iter().enumerate() {
+            if rep == replica {
+                assert!(
+                    outcome.route_instants[i] >= ready_at,
+                    "routed to {replica} at {} before ready_at {ready_at}",
+                    outcome.route_instants[i]
+                );
+            }
+        }
+        assert!(outcome.elasticity.provisioning_s > 0.0);
+    }
+
+    #[test]
+    fn scale_down_drains_without_killing_requests() {
+        // A front-loaded burst, then a long quiet tail (one straggler keeps
+        // control boundaries alive): the fleet must shrink and every
+        // request must still complete.
+        let mut requests = small_trace(40, 11).requests;
+        let straggler_id = RequestId(40);
+        requests.push(Request::new(
+            straggler_id,
+            SimTime::from_secs(400.0),
+            500,
+            50,
+        ));
+        let trace = Trace::from_requests("burst then quiet", requests);
+        let mut scaler = AutoscalerConfig::overload_defaults(1, 2);
+        scaler.control_interval_s = 30.0;
+        scaler.cooldown_s = 0.0;
+        let cfg = ElasticConfig::new(scaler).with_initial(2);
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let outcome = engine.run_elastic(&trace, &cfg);
+        exactly_once(&outcome, &trace);
+        assert!(
+            outcome.elasticity.scale_down_events >= 1,
+            "the quiet tail must scale down"
+        );
+        assert_eq!(
+            outcome.elasticity.drains_completed,
+            outcome
+                .scale_events
+                .iter()
+                .filter(|e| matches!(e.kind, FleetScaleKind::Retired { .. }))
+                .count() as u64
+        );
+        // No request was killed: nothing failed, nothing unfinished, and
+        // every id completed (or was rejected by a replica's own engine).
+        assert!(outcome.failed.is_empty());
+        assert_eq!(outcome.fleet.unfinished, 0);
+        assert_eq!(
+            outcome.fleet.records.len() + outcome.fleet.rejected.len(),
+            trace.len()
+        );
+        // Drained replicas accept no new routes after the drain decision.
+        for event in &outcome.scale_events {
+            if let FleetScaleKind::Retired { replica, .. } = event.kind {
+                for (i, &(_, rep)) in outcome.fleet.assignments.iter().enumerate() {
+                    if rep == replica {
+                        assert!(
+                            outcome.route_instants[i] < event.at,
+                            "routed to retired {replica} at {} after drain at {}",
+                            outcome.route_instants[i],
+                            event.at
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_during_drain_retires_at_the_crash_and_retries_the_rest() {
+        // Two busy replicas; the autoscaler (aggressively tuned) drains one
+        // at the first control boundary; a scheduled crash then strikes the
+        // victim mid-drain. The drain must stop at the crash, the victim's
+        // unfinished work must retry elsewhere, and nothing is lost.
+        // Round-robin puts the long-decode pair on replica 0 and the
+        // shorter pair on replica 1, so replica 1 (smaller backlog) is the
+        // drain victim — still decoding well past the crash at 8 s.
+        let requests = vec![
+            Request::with_max_output(RequestId(0), SimTime::ZERO, 8_000, 2_000, 2_000),
+            Request::with_max_output(RequestId(1), SimTime::from_secs(0.1), 4_000, 1_500, 1_500),
+            Request::with_max_output(RequestId(2), SimTime::from_secs(0.2), 8_000, 2_000, 2_000),
+            Request::with_max_output(RequestId(3), SimTime::from_secs(0.3), 4_000, 1_500, 1_500),
+        ];
+        let trace = Trace::from_requests("crash during drain", requests);
+        let mut scaler = AutoscalerConfig::overload_defaults(1, 2);
+        scaler.control_interval_s = 5.0;
+        scaler.cooldown_s = 0.0;
+        // Generous thresholds: at the first boundary both replicas are
+        // under the down-threshold, so the drain decision fires while the
+        // victim still has work in flight.
+        scaler.scale_up_backlog_tokens = 100_000;
+        scaler.scale_down_backlog_tokens = 50_000;
+        let schedule = FailureSchedule::from_events(vec![FailureEvent::new(
+            ReplicaId(1),
+            SimTime::from_secs(8.0),
+            SimTime::from_secs(9.0),
+        )]);
+        let cfg = ElasticConfig::new(scaler)
+            .with_initial(2)
+            .with_schedule(schedule)
+            .with_retry(RetryPolicy::exponential(3, 1.0));
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let outcome = engine.run_elastic(&trace, &cfg);
+        exactly_once(&outcome, &trace);
+        // The victim (replica 1: smaller backlog, then highest id on ties)
+        // retired exactly at the crash instant.
+        let retired = outcome
+            .scale_events
+            .iter()
+            .find_map(|e| match e.kind {
+                FleetScaleKind::Retired { replica, drain_s } => Some((e.at, replica, drain_s)),
+                _ => None,
+            })
+            .expect("the drain decision must fire");
+        let (at, victim, drain_s) = retired;
+        assert_eq!(victim, ReplicaId(1));
+        assert_eq!(at, SimTime::from_secs(5.0));
+        assert!(
+            (drain_s - 3.0).abs() < 1e-9,
+            "drain runs from the decision at 5 s to the crash at 8 s, got {drain_s}"
+        );
+        // The interrupted work retried and completed: no terminal failures,
+        // every request in the records.
+        assert!(outcome.reliability.retries_scheduled >= 1);
+        assert!(outcome.failed.is_empty());
+        assert_eq!(outcome.fleet.records.len(), trace.len());
+        assert!(outcome.reliability.recovered_requests >= 1);
+    }
+
+    #[test]
+    fn saturated_fleet_sheds_best_effort_first() {
+        // A single tiny-capacity replica under a heavy mixed burst: the
+        // shedder must engage and best-effort traffic must bear it.
+        let mut requests = Vec::new();
+        for i in 0..30u64 {
+            let class = if i % 3 == 0 {
+                TrafficClass::BestEffort
+            } else {
+                TrafficClass::Interactive
+            };
+            requests.push(
+                Request::with_max_output(
+                    RequestId(i),
+                    SimTime::from_secs(i as f64 * 0.05),
+                    2_000,
+                    200,
+                    200,
+                )
+                .with_class(class),
+            );
+        }
+        let trace = Trace::from_requests("saturating mixed burst", requests);
+        let mut admission = AdmissionConfig::overload_defaults();
+        admission.replica_capacity_tokens = 4_000;
+        let cfg = ElasticConfig::new(AutoscalerConfig::fixed(1)).with_admission(admission);
+        let mut engine = fleet(1, RouterPolicy::Passthrough);
+        let outcome = engine.run_elastic(&trace, &cfg);
+        exactly_once(&outcome, &trace);
+        assert!(!outcome.shed.is_empty(), "saturation must shed");
+        assert!(outcome.elasticity.shed_best_effort >= 1);
+        // Class priority: interactive is only ever deadline-rejected, never
+        // shed while best-effort survives.
+        for s in &outcome.shed {
+            if s.class == TrafficClass::Interactive {
+                assert_eq!(s.reason, ShedReason::DeadlineExceeded);
+            }
+        }
+        let attainment = outcome.class_attainment(&trace, &SloSpec::default_for_lwm());
+        assert_eq!(attainment.len(), 3);
+    }
+
+    #[test]
+    fn class_slo_scales_every_bound() {
+        let base = SloSpec {
+            per_token_s: 0.1,
+            input_s: 0.2,
+            output_s: 0.3,
+        };
+        let best_effort = class_slo(&base, TrafficClass::BestEffort);
+        assert!((best_effort.per_token_s - 0.4).abs() < 1e-12);
+        assert!((best_effort.input_s - 0.8).abs() < 1e-12);
+        assert!((best_effort.output_s - 1.2).abs() < 1e-12);
+        let interactive = class_slo(&base, TrafficClass::Interactive);
+        assert_eq!(interactive, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "provisioned at the autoscaler's max")]
+    fn fleet_size_must_match_autoscaler_max() {
+        let trace = small_trace(4, 1);
+        let mut engine = fleet(2, RouterPolicy::RoundRobin);
+        let _ = engine.run_elastic(
+            &trace,
+            &ElasticConfig::new(AutoscalerConfig::overload_defaults(1, 4)),
+        );
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`reliability`] — failure injection over the fleet: seeded crash
 //!   schedules, health-aware routing, retry/backoff, circuit breaking and
 //!   the exactly-once casualty ledger,
+//! * [`elastic`] — graceful degradation under overload: SLO-driven fleet
+//!   autoscaling with provisioning delays, drain-before-retire scale-down
+//!   (no request killed by a scale event), and hysteretic admission
+//!   control that sheds best-effort traffic first,
 //! * [`systems`] — the systems under comparison (LoongServe, vLLM,
 //!   DeepSpeed-MII, LightLLM SplitFuse, DistServe, and the parallelism
 //!   ablations) with their paper configurations,
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod elastic;
 pub mod engine;
 pub mod experiment;
 pub mod fleet;
@@ -50,6 +55,9 @@ pub mod reliability;
 pub mod report;
 pub mod systems;
 
+pub use elastic::{
+    class_slo, ElasticConfig, ElasticFleetOutcome, FleetScaleEvent, FleetScaleKind, ShedRequest,
+};
 pub use engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
 pub use experiment::{compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec};
 pub use fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
@@ -59,6 +67,9 @@ pub use systems::{PressureMode, SystemKind, SystemUnderTest};
 /// Convenient glob-import of the most commonly used types across the whole
 /// workspace.
 pub mod prelude {
+    pub use crate::elastic::{
+        class_slo, ElasticConfig, ElasticFleetOutcome, FleetScaleEvent, FleetScaleKind, ShedRequest,
+    };
     pub use crate::engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
     pub use crate::experiment::{
         compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec,

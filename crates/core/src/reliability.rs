@@ -507,7 +507,9 @@ impl FleetEngine {
 /// is the final, uncapped segment). Counters sum, sim time maximises, and
 /// `unfinished` comes from the final segment alone — a capped segment's
 /// unfinished requests are crash casualties, owned by the retry ledger.
-fn merge_segments(segments: Vec<RunOutcome>) -> RunOutcome {
+/// Shared with the elasticity tier, whose drain segments merge the same
+/// way.
+pub(crate) fn merge_segments(segments: Vec<RunOutcome>) -> RunOutcome {
     let last = segments.len() - 1;
     let mut merged: Option<RunOutcome> = None;
     for (i, seg) in segments.into_iter().enumerate() {

@@ -8,6 +8,7 @@
 //! per-replica breakdown. [`FleetSummary`] carries both.
 
 use crate::cache::CacheStats;
+use crate::elasticity::ElasticityStats;
 use crate::pressure::PressureStats;
 use crate::record::RequestRecord;
 use crate::reliability::{ReliabilityStats, SlaWindow};
@@ -32,6 +33,9 @@ pub struct FleetSummary {
     /// with its completed/failed resolution counts. Empty unless attached
     /// by a reliability run.
     pub sla_windows: Vec<SlaWindow>,
+    /// Whole-run elasticity counters. All-zero unless a scale event or
+    /// shed decision actually fired (armed-but-idle leaves no trace).
+    pub elasticity: ElasticityStats,
 }
 
 impl FleetSummary {
@@ -81,6 +85,7 @@ impl FleetSummary {
             per_replica,
             reliability: ReliabilityStats::default(),
             sla_windows: Vec::new(),
+            elasticity: ElasticityStats::default(),
         }
     }
 
@@ -134,6 +139,13 @@ impl FleetSummary {
     pub fn attach_reliability(&mut self, stats: ReliabilityStats, windows: Vec<SlaWindow>) {
         self.reliability = stats;
         self.sla_windows = windows;
+    }
+
+    /// Attaches the whole-run elasticity ledger to the rollup. Like
+    /// reliability, elasticity is fleet-scope (scale and shed decisions
+    /// look at the whole fleet), so there is no per-replica split.
+    pub fn attach_elasticity(&mut self, stats: ElasticityStats) {
+        self.elasticity = stats;
     }
 
     /// Success ratio over the whole run: completed over resolved requests,
@@ -287,6 +299,54 @@ mod tests {
         assert_eq!(s.reliability.crashes, 1);
         assert_eq!(s.sla_windows.len(), 2);
         assert!((s.success_ratio() - 4.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn success_ratio_conventions_are_pinned() {
+        let r0 = [record(0, 0.0, 2.0)];
+        let mut s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&r0], &slo());
+        // No windows attached (a run the reliability tier never touched):
+        // nothing resolved, so availability is identically 1.0, not 0/0.
+        assert!(s.sla_windows.is_empty());
+        assert_eq!(s.success_ratio(), 1.0);
+        // Windows attached but all empty (idle horizon): still 1.0.
+        s.attach_reliability(
+            ReliabilityStats::default(),
+            vec![SlaWindow {
+                start_s: 0.0,
+                end_s: 10.0,
+                completed: 0,
+                failed: 0,
+            }],
+        );
+        assert_eq!(s.success_ratio(), 1.0);
+        // Every resolution a failure: the ratio pins to exactly 0.0.
+        s.attach_reliability(
+            ReliabilityStats::default(),
+            vec![SlaWindow {
+                start_s: 0.0,
+                end_s: 10.0,
+                completed: 0,
+                failed: 4,
+            }],
+        );
+        assert_eq!(s.success_ratio(), 0.0);
+    }
+
+    #[test]
+    fn elasticity_rollup_attaches_ledger() {
+        let r0 = [record(0, 0.0, 2.0)];
+        let mut s = FleetSummary::from_replica_records("fleet", "w", 1.0, &[&r0], &slo());
+        assert!(s.elasticity.is_zero(), "armed-but-idle leaves no trace");
+        let stats = ElasticityStats {
+            scale_up_events: 1,
+            replica_seconds: 40.0,
+            shed_best_effort: 3,
+            ..ElasticityStats::default()
+        };
+        s.attach_elasticity(stats);
+        assert_eq!(s.elasticity.shed_total(), 3);
+        assert_eq!(s.elasticity.replica_seconds, 40.0);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`reliability`] — failure-injection KPIs: the whole-run reliability
 //!   ledger (crashes, retries, re-prefilled tokens, MTTR) and windowed
 //!   SLA/availability series,
+//! * [`elasticity`] — autoscaling KPIs: the whole-run elasticity ledger
+//!   (scale events, drains, shed-by-class, replica-seconds) and the
+//!   headline SLO-goodput-per-replica-second metric,
 //! * [`timeseries`] — binned event counters (e.g. scale-ups per 10 s),
 //! * [`summary`] — per-run summaries and markdown comparison tables,
 //! * [`fleet`] — fleet-level aggregation: merged metrics over every
@@ -41,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod elasticity;
 pub mod fleet;
 pub mod latency;
 pub mod pressure;
@@ -51,6 +55,7 @@ pub mod summary;
 pub mod timeseries;
 
 pub use cache::CacheStats;
+pub use elasticity::{slo_goodput_per_replica_second, ElasticityStats};
 pub use fleet::FleetSummary;
 pub use latency::{mean, percentile, LatencySummary};
 pub use pressure::PressureStats;
@@ -63,6 +68,7 @@ pub use timeseries::BinnedCounter;
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::cache::CacheStats;
+    pub use crate::elasticity::{slo_goodput_per_replica_second, ElasticityStats};
     pub use crate::fleet::FleetSummary;
     pub use crate::latency::{mean, percentile, LatencySummary};
     pub use crate::pressure::PressureStats;

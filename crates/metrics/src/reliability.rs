@@ -214,4 +214,48 @@ mod tests {
     fn empty_run_has_no_windows() {
         assert!(availability_windows(10.0, &[], &[]).is_empty());
     }
+
+    #[test]
+    fn mttr_conventions_are_pinned() {
+        // Zero crashes: MTTR is 0.0 by convention, never 0/0.
+        let none = ReliabilityStats::default();
+        assert_eq!(none.mean_time_to_recovery_s(), 0.0);
+        // A crash that never recovered within the run: its outage clamps to
+        // the horizon, so downtime can legitimately be 0 (crash at the very
+        // end). MTTR must stay finite — 0.0, not NaN.
+        let at_horizon = ReliabilityStats {
+            crashes: 1,
+            downtime_s: 0.0,
+            ..ReliabilityStats::default()
+        };
+        let mttr = at_horizon.mean_time_to_recovery_s();
+        assert!(mttr.is_finite());
+        assert_eq!(mttr, 0.0);
+        // Attempts with zero successes leave the ledger's derived values
+        // finite too: all counters, no ratios that can divide by zero.
+        let hopeless = ReliabilityStats {
+            crashes: 2,
+            downtime_s: 50.0,
+            failed_attempts: 5,
+            retries_scheduled: 3,
+            retries_exhausted: 3,
+            recovered_requests: 0,
+            ..ReliabilityStats::default()
+        };
+        assert!((hopeless.mean_time_to_recovery_s() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failures_only_runs_still_produce_windows() {
+        // No completions at all — every resolution is a terminal failure.
+        // The horizon comes from the failure instants and every window's
+        // success ratio pins to 0.0 (or 1.0 where nothing resolved).
+        let failures = [SimTime::from_secs(5.0), SimTime::from_secs(25.0)];
+        let windows = availability_windows(10.0, &[], &failures);
+        assert_eq!(windows.len(), 3);
+        assert_eq!((windows[0].completed, windows[0].failed), (0, 1));
+        assert_eq!(windows[0].success_ratio(), 0.0);
+        assert_eq!(windows[1].success_ratio(), 1.0, "idle window is up");
+        assert_eq!((windows[2].completed, windows[2].failed), (0, 1));
+    }
 }

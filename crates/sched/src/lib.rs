@@ -18,7 +18,11 @@
 //!   power-of-two-choices) assigning arriving requests to replicas,
 //! * [`reliability`] — the dispatcher's failure handling: health-aware
 //!   candidate sets, per-request retry budgets with exponential backoff,
-//!   and a per-replica count/window circuit breaker.
+//!   and a per-replica count/window circuit breaker,
+//! * [`elastic`] — the elasticity tier's controllers: the target-tracking
+//!   fleet [`Autoscaler`](elastic::Autoscaler) and the saturation-triggered
+//!   [`AdmissionController`](elastic::AdmissionController) with class-priority
+//!   shedding and hysteresis.
 //!
 //! # Examples
 //!
@@ -35,6 +39,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod elastic;
 pub mod manager;
 pub mod pressure;
 pub mod reliability;
@@ -43,6 +48,10 @@ pub mod types;
 
 pub use baselines::{
     DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler, StaticHybridScheduler,
+};
+pub use elastic::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, Autoscaler, AutoscalerConfig,
+    FleetSignals, ScaleDecision, ShedReason,
 };
 pub use manager::{LoongServeConfig, LoongServeScheduler};
 pub use pressure::{
@@ -60,6 +69,10 @@ pub mod prelude {
     pub use crate::baselines::{
         DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler,
         StaticHybridScheduler,
+    };
+    pub use crate::elastic::{
+        AdmissionConfig, AdmissionController, AdmissionDecision, Autoscaler, AutoscalerConfig,
+        FleetSignals, ScaleDecision, ShedReason,
     };
     pub use crate::manager::{LoongServeConfig, LoongServeScheduler};
     pub use crate::pressure::{

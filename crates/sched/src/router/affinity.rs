@@ -64,6 +64,17 @@ impl Router for PrefixAffinityRouter {
         self.assigned.insert(conversation, replica);
         replica
     }
+
+    /// Drops every pin to the retired replica. Crash re-pinning (above) is
+    /// lazy — the pin is replaced on the conversation's next turn — but
+    /// that is only sound while the replica *might* return with its id. A
+    /// retired replica's pool is gone for good, and the id may later be
+    /// re-activated as a **cold** replica; a surviving pin would then route
+    /// follow-ups to a pool that holds nothing of their prefix. Removal
+    /// therefore durably un-pins, and the next turn re-pins by least-KV.
+    fn on_replica_removed(&mut self, replica: ReplicaId) {
+        self.assigned.retain(|_, &mut pinned| pinned != replica);
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +127,44 @@ mod tests {
             ReplicaId(1)
         );
         assert_eq!(router.conversations(), 0);
+    }
+
+    #[test]
+    fn retired_pin_is_dropped_and_does_not_resurrect_cold() {
+        let mut router = PrefixAffinityRouter::new();
+        let mut tracker = FleetLoadTracker::new(3);
+        let all = all_replicas(3);
+        // Conversation 5 pins to replica 0 (emptiest), 7 to replica 1.
+        let first = conv_req(0, 2_000, 5);
+        assert_eq!(router.route(&first, tracker.loads(), &all), ReplicaId(0));
+        tracker.on_assign(ReplicaId(0), &first);
+        let r = conv_req(1, 1_000, 7);
+        assert_eq!(router.route(&r, tracker.loads(), &all), ReplicaId(1));
+        tracker.on_assign(ReplicaId(1), &r);
+        assert_eq!(router.conversations(), 2);
+
+        // Replica 0 drains and retires: its pin must be dropped durably,
+        // pins to other replicas untouched.
+        router.on_replica_removed(ReplicaId(0));
+        assert_eq!(router.conversations(), 1);
+
+        // The id later re-activates as a *cold* replica with an empty pool
+        // and zero tracked load. Without the removal hook, the stale pin
+        // would be "routable" again and send the follow-up to a pool that
+        // holds nothing; with it, the conversation re-pins by least-KV —
+        // which is the cold replica on merit (emptiest), and durably so.
+        let mut cold = FleetLoadTracker::new(3);
+        cold.on_assign(ReplicaId(1), &req(90, 50_000, 64));
+        cold.on_assign(ReplicaId(2), &req(91, 40_000, 64));
+        let follow_up = conv_req(3, 4_000, 5);
+        let repinned = router.route(&follow_up, cold.loads(), &all);
+        assert_eq!(repinned, ReplicaId(0), "re-pin is by load, not stale state");
+        assert_eq!(router.conversations(), 2);
+        // Conversation 7's pin to replica 1 survived the removal.
+        assert_eq!(
+            router.route(&conv_req(4, 1_000, 7), cold.loads(), &all),
+            ReplicaId(1)
+        );
     }
 
     #[test]

@@ -162,6 +162,14 @@ pub trait Router {
         loads: &[ReplicaLoad],
         candidates: &[ReplicaId],
     ) -> ReplicaId;
+
+    /// Notifies the policy that `replica` has been **removed** from the
+    /// fleet (drained and retired by a scale-down, as opposed to a crash
+    /// it may come back from). Stateless policies ignore this; stateful
+    /// ones must drop any durable preference for the replica — a retired
+    /// replica's device pool is gone, so a pin that survives removal would
+    /// silently become valid again if the id is later re-activated cold.
+    fn on_replica_removed(&mut self, _replica: ReplicaId) {}
 }
 
 /// The full candidate set: every replica of an `n`-replica fleet, in

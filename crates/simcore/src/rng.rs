@@ -85,6 +85,16 @@ impl SimRng {
         SimRng::seed(mixed)
     }
 
+    /// Draws one uniform value in `[0, 1)`.
+    ///
+    /// Convenience for crates that consume `SimRng` without depending on
+    /// `rand` themselves (e.g. thinning acceptance tests in workload
+    /// generation). Uses the top 53 bits of one `next_u64` draw, the same
+    /// construction `rand`'s `f64` sampling uses.
+    pub fn uniform01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
     fn rotl(x: u64, k: u32) -> u64 {
         x.rotate_left(k)
     }

@@ -254,6 +254,60 @@ impl MultiTurnProfile {
     }
 }
 
+/// The traffic-class mixture of the elasticity tier's overload studies.
+///
+/// Each arrival event of the generating process becomes one of three
+/// streams, drawn deterministically from a seeded substream:
+///
+/// * **interactive** — a single-shot ShareGPT-shaped request
+///   ([`TrafficClass::Interactive`](crate::request::TrafficClass)), the
+///   remainder after the other two fractions;
+/// * **long-document** — a single-shot L-Eval-shaped request tagged
+///   best-effort: big prompts whose latency tolerance is loose and which
+///   the admission controller sheds first under saturation;
+/// * **multi-turn** — the event *starts a conversation* (geometric rounds,
+///   open-loop think times per [`MultiTurnProfile`]) whose turns are all
+///   tagged standard; follow-ups add requests beyond the event count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedClassProfile {
+    /// Fraction of arrival events that are long-document best-effort
+    /// requests.
+    pub long_doc_fraction: f64,
+    /// Fraction of arrival events that start a standard-class multi-turn
+    /// conversation.
+    pub multi_turn_fraction: f64,
+    /// Turn-count / think-time profile of the multi-turn stream.
+    pub multi_turn: MultiTurnProfile,
+}
+
+impl MixedClassProfile {
+    /// The default overload mix: 15% long-document, 25% multi-turn
+    /// conversation starts, the rest interactive chat.
+    pub fn overload_mix() -> Self {
+        MixedClassProfile {
+            long_doc_fraction: 0.15,
+            multi_turn_fraction: 0.25,
+            multi_turn: MultiTurnProfile::sharegpt(),
+        }
+    }
+
+    /// Validates ranges: both fractions non-negative, summing to at most 1,
+    /// and a valid multi-turn profile.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.long_doc_fraction)
+            || !(0.0..=1.0).contains(&self.multi_turn_fraction)
+            || self.long_doc_fraction + self.multi_turn_fraction > 1.0
+        {
+            return Err(format!(
+                "class fractions must be non-negative and sum to at most 1, got \
+                 long-doc {} + multi-turn {}",
+                self.long_doc_fraction, self.multi_turn_fraction
+            ));
+        }
+        self.multi_turn.validate()
+    }
+}
+
 /// The Zipf-reshaped mixture of Figure 12.
 ///
 /// Requests are drawn from the Mixed dataset, but the choice of source

@@ -35,18 +35,22 @@ pub mod request;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
-pub use datasets::{DatasetKind, DatasetSampler, LengthSample, MultiTurnProfile, ZipfMixedSampler};
+pub use datasets::{
+    DatasetKind, DatasetSampler, LengthSample, MixedClassProfile, MultiTurnProfile,
+    ZipfMixedSampler,
+};
 pub use failure::{FailureEvent, FailureSchedule};
-pub use request::Request;
+pub use request::{Request, TrafficClass};
 pub use trace::{Trace, TraceStats};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::arrival::ArrivalProcess;
     pub use crate::datasets::{
-        DatasetKind, DatasetSampler, LengthSample, MultiTurnProfile, ZipfMixedSampler,
+        DatasetKind, DatasetSampler, LengthSample, MixedClassProfile, MultiTurnProfile,
+        ZipfMixedSampler,
     };
     pub use crate::failure::{FailureEvent, FailureSchedule};
-    pub use crate::request::Request;
+    pub use crate::request::{Request, TrafficClass};
     pub use crate::trace::{Trace, TraceStats};
 }

@@ -12,6 +12,77 @@ use loong_simcore::ids::{ConversationId, RequestId};
 use loong_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// The service class a request arrives under — the per-request SLO tag the
+/// elasticity tier's admission controller keys on.
+///
+/// Classes order by *strictness*: interactive traffic has the tightest
+/// latency expectations and is shed last; best-effort (batch/long-document)
+/// traffic tolerates the loosest latency and is shed first when the fleet
+/// saturates. The class never changes what a request costs to serve — only
+/// how the frontend treats it under overload and which SLO it is judged by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Chat-style traffic (ShareGPT-shaped): tight SLO, shed last.
+    Interactive,
+    /// Multi-turn assistant sessions: intermediate SLO.
+    Standard,
+    /// Long-document / batch analysis (L-Eval-shaped): loose SLO, shed
+    /// first.
+    BestEffort,
+}
+
+impl TrafficClass {
+    /// Every class, in shed order (first element is shed first).
+    pub fn all() -> [TrafficClass; 3] {
+        [
+            TrafficClass::BestEffort,
+            TrafficClass::Standard,
+            TrafficClass::Interactive,
+        ]
+    }
+
+    /// Shed priority: lower ranks are shed earlier under saturation.
+    pub fn shed_rank(&self) -> u8 {
+        match self {
+            TrafficClass::BestEffort => 0,
+            TrafficClass::Standard => 1,
+            TrafficClass::Interactive => 2,
+        }
+    }
+
+    /// Multiplier applied to the base [`SloSpec`] when judging this class:
+    /// interactive requests are held to the base SLO, standard traffic to
+    /// 2× and best-effort to 4× — looser classes trade latency for
+    /// admission under load.
+    ///
+    /// [`SloSpec`]: https://docs.rs/loong-metrics
+    pub fn slo_scale(&self) -> f64 {
+        match self {
+            TrafficClass::Interactive => 1.0,
+            TrafficClass::Standard => 2.0,
+            TrafficClass::BestEffort => 4.0,
+        }
+    }
+
+    /// The report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficClass::Interactive => "interactive",
+            TrafficClass::Standard => "standard",
+            TrafficClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+impl Default for TrafficClass {
+    /// Single-shot requests default to interactive — the class of every
+    /// pre-elasticity trace, which keeps existing generators and goldens
+    /// unchanged.
+    fn default() -> Self {
+        TrafficClass::Interactive
+    }
+}
+
 /// An immutable description of one serving request.
 ///
 /// # Examples
@@ -48,6 +119,11 @@ pub struct Request {
     /// Zero-based turn index within the conversation (0 for single-shot
     /// requests).
     pub turn: u32,
+    /// The request's service class. Defaults to
+    /// [`TrafficClass::Interactive`]; the admission controller sheds by
+    /// class under saturation and per-class SLO reporting scales the base
+    /// SLO by [`TrafficClass::slo_scale`].
+    pub class: TrafficClass,
 }
 
 impl Request {
@@ -69,6 +145,7 @@ impl Request {
             max_output_len,
             conversation: None,
             turn: 0,
+            class: TrafficClass::default(),
         }
     }
 
@@ -78,6 +155,13 @@ impl Request {
     pub fn with_conversation(mut self, conversation: ConversationId, turn: u32) -> Self {
         self.conversation = Some(conversation);
         self.turn = turn;
+        self
+    }
+
+    /// Tags the request with a service class (mixed-class traces use this;
+    /// untagged requests default to [`TrafficClass::Interactive`]).
+    pub fn with_class(mut self, class: TrafficClass) -> Self {
+        self.class = class;
         self
     }
 
@@ -106,6 +190,7 @@ impl Request {
             max_output_len,
             conversation: None,
             turn: 0,
+            class: TrafficClass::default(),
         }
     }
 
@@ -148,6 +233,24 @@ mod tests {
             .with_conversation(ConversationId(4), 2);
         assert_eq!(r.conversation, Some(ConversationId(4)));
         assert_eq!(r.turn, 2);
+    }
+
+    #[test]
+    fn default_class_is_interactive_and_tagging_overrides() {
+        let r = Request::new(RequestId(1), SimTime::ZERO, 100, 37);
+        assert_eq!(r.class, TrafficClass::Interactive);
+        let r = r.with_class(TrafficClass::BestEffort);
+        assert_eq!(r.class, TrafficClass::BestEffort);
+    }
+
+    #[test]
+    fn shed_ranks_order_best_effort_first_and_scales_loosen() {
+        let all = TrafficClass::all();
+        assert_eq!(all[0], TrafficClass::BestEffort);
+        assert!(all.windows(2).all(|w| w[0].shed_rank() < w[1].shed_rank()));
+        assert!(TrafficClass::Interactive.slo_scale() < TrafficClass::Standard.slo_scale());
+        assert!(TrafficClass::Standard.slo_scale() < TrafficClass::BestEffort.slo_scale());
+        assert_eq!(TrafficClass::BestEffort.label(), "best-effort");
     }
 
     #[test]

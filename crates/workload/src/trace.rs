@@ -7,8 +7,10 @@
 //! apples-to-apples.
 
 use crate::arrival::ArrivalProcess;
-use crate::datasets::{DatasetKind, DatasetSampler, MultiTurnProfile, ZipfMixedSampler};
-use crate::request::Request;
+use crate::datasets::{
+    DatasetKind, DatasetSampler, MixedClassProfile, MultiTurnProfile, ZipfMixedSampler,
+};
+use crate::request::{Request, TrafficClass};
 use loong_simcore::ids::{ConversationId, IdAllocator, RequestId};
 use loong_simcore::rng::SimRng;
 use loong_simcore::time::{SimDuration, SimTime};
@@ -170,6 +172,114 @@ impl Trace {
                 "{} multi-turn ({} conv) @ {:.3} conv/s",
                 dataset.name(),
                 conversations,
+                arrivals.mean_rate()
+            ),
+            requests,
+        }
+    }
+
+    /// Generates a mixed traffic-class trace for overload studies: each of
+    /// the `count` arrival events of `arrivals` is classified per
+    /// `profile` into one of three streams —
+    ///
+    /// * **interactive** (the remainder): one ShareGPT-shaped request;
+    /// * **long-document**: one L-Eval-shaped request tagged
+    ///   [`TrafficClass::BestEffort`];
+    /// * **multi-turn**: the event starts a [`TrafficClass::Standard`]
+    ///   conversation whose follow-up turns (growing-context prompts, think
+    ///   times, geometric rounds as in [`Trace::generate_multi_turn`])
+    ///   arrive *after* the event, so the final trace has at least `count`
+    ///   requests.
+    ///
+    /// Requests are interleaved in arrival order and ids assigned in that
+    /// order; every request carries its class tag (and conversation tag for
+    /// multi-turn requests).
+    pub fn generate_mixed_classes(
+        arrivals: ArrivalProcess,
+        count: usize,
+        profile: &MixedClassProfile,
+        rng: &mut SimRng,
+    ) -> Self {
+        profile.validate().expect("valid mixed-class profile");
+        let chat = DatasetSampler::new(DatasetKind::ShareGpt);
+        let long_doc = DatasetSampler::new(DatasetKind::LEval);
+        let mut class_rng = rng.fork("mix-class");
+        let mut length_rng = rng.fork("mix-lengths");
+        let mut arrival_rng = rng.fork("mix-arrivals");
+        let mut rounds_rng = rng.fork("mix-rounds");
+        let mut think_rng = rng.fork("mix-think");
+        let starts = arrivals.generate(count, &mut arrival_rng);
+
+        // Materialise every event (and any conversation it spawns), then
+        // interleave by arrival. `seq` makes the sort deterministic even
+        // when think times collide with fresh arrivals.
+        let mut drafts: Vec<(f64, u64, Request)> = Vec::new();
+        let mut seq = 0u64;
+        let mut next_conv = 0u64;
+        for start in starts {
+            let u = class_rng.uniform01();
+            if u < profile.long_doc_fraction {
+                let s = long_doc.sample(&mut length_rng);
+                drafts.push((
+                    start.as_secs(),
+                    seq,
+                    Request::new(RequestId(0), start, s.input_len, s.output_len)
+                        .with_class(TrafficClass::BestEffort),
+                ));
+                seq += 1;
+            } else if u < profile.long_doc_fraction + profile.multi_turn_fraction {
+                let conv = ConversationId(next_conv);
+                next_conv += 1;
+                let rounds = profile.multi_turn.sample_rounds(&mut rounds_rng);
+                let mut at = start.as_secs();
+                let mut context = 0u64;
+                for turn in 0..rounds {
+                    let s = chat.sample(&mut length_rng);
+                    let input_len = context + s.input_len;
+                    drafts.push((
+                        at,
+                        seq,
+                        Request::new(
+                            RequestId(0),
+                            SimTime::ZERO + SimDuration::from_secs(at),
+                            input_len,
+                            s.output_len,
+                        )
+                        .with_conversation(conv, turn)
+                        .with_class(TrafficClass::Standard),
+                    ));
+                    seq += 1;
+                    context = input_len + s.output_len;
+                    at += profile.multi_turn.sample_think_s(&mut think_rng);
+                }
+            } else {
+                let s = chat.sample(&mut length_rng);
+                drafts.push((
+                    start.as_secs(),
+                    seq,
+                    Request::new(RequestId(0), start, s.input_len, s.output_len),
+                ));
+                seq += 1;
+            }
+        }
+        drafts.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("arrival times are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut ids = IdAllocator::<RequestId>::new();
+        let requests = drafts
+            .into_iter()
+            .map(|(_, _, mut r)| {
+                r.id = ids.next();
+                r
+            })
+            .collect();
+        Trace {
+            label: format!(
+                "mixed-class ({:.0}% long-doc, {:.0}% multi-turn) @ {:.3} ev/s",
+                profile.long_doc_fraction * 100.0,
+                profile.multi_turn_fraction * 100.0,
                 arrivals.mean_rate()
             ),
             requests,
@@ -495,6 +605,120 @@ mod tests {
             )
         };
         assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn mixed_class_trace_carries_all_three_classes() {
+        use crate::datasets::MixedClassProfile;
+        let mut rng = SimRng::seed(31);
+        let profile = MixedClassProfile::overload_mix();
+        let trace = Trace::generate_mixed_classes(
+            ArrivalProcess::Poisson { rate: 2.0 },
+            400,
+            &profile,
+            &mut rng,
+        );
+        assert!(
+            trace.len() >= 400,
+            "multi-turn follow-ups only add requests"
+        );
+        assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        assert!(trace.requests.windows(2).all(|w| w[0].id < w[1].id));
+        let count_of = |c: TrafficClass| trace.requests.iter().filter(|r| r.class == c).count();
+        let interactive = count_of(TrafficClass::Interactive);
+        let standard = count_of(TrafficClass::Standard);
+        let best_effort = count_of(TrafficClass::BestEffort);
+        assert_eq!(interactive + standard + best_effort, trace.len());
+        // The fractions are of *events*; multi-turn conversations inflate
+        // the standard share, but all three streams must be present in
+        // roughly the configured proportions.
+        assert!(
+            (0.05..0.30).contains(&(best_effort as f64 / 400.0)),
+            "~15% of events should be long-doc, got {best_effort}/400"
+        );
+        assert!(standard > best_effort, "multi-turn turns outnumber events");
+        assert!(
+            (0.45..0.75).contains(&(interactive as f64 / 400.0)),
+            "~60% of events should be interactive, got {interactive}/400"
+        );
+        // Class/conversation tags agree: only standard requests belong to
+        // conversations, and their prefixes grow.
+        for r in &trace.requests {
+            assert_eq!(r.conversation.is_some(), r.class == TrafficClass::Standard);
+        }
+    }
+
+    #[test]
+    fn mixed_class_conversations_grow_prefixes() {
+        use crate::datasets::MixedClassProfile;
+        use std::collections::BTreeMap;
+        let mut rng = SimRng::seed(33);
+        let trace = Trace::generate_mixed_classes(
+            ArrivalProcess::Poisson { rate: 1.0 },
+            300,
+            &MixedClassProfile::overload_mix(),
+            &mut rng,
+        );
+        let mut per_conv: BTreeMap<u64, Vec<&Request>> = BTreeMap::new();
+        for r in trace.requests.iter().filter(|r| r.conversation.is_some()) {
+            per_conv
+                .entry(r.conversation.expect("filtered").raw())
+                .or_default()
+                .push(r);
+        }
+        assert!(!per_conv.is_empty());
+        for turns in per_conv.values() {
+            for (i, r) in turns.iter().enumerate() {
+                assert_eq!(r.turn as usize, i, "turns are dense and ordered");
+            }
+            for w in turns.windows(2) {
+                assert!(w[1].input_len > w[0].input_len + w[0].output_len);
+                assert!(w[1].arrival > w[0].arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_class_trace_is_deterministic() {
+        use crate::datasets::MixedClassProfile;
+        let make = || {
+            let mut rng = SimRng::seed(55);
+            Trace::generate_mixed_classes(
+                ArrivalProcess::DiurnalFlash {
+                    trough_rate: 0.5,
+                    peak_rate: 4.0,
+                    period_secs: 300.0,
+                    flash_start_s: 100.0,
+                    flash_secs: 30.0,
+                    flash_rate: 8.0,
+                },
+                150,
+                &MixedClassProfile::overload_mix(),
+                &mut rng,
+            )
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn mixed_class_rejects_overfull_fractions() {
+        use crate::datasets::MixedClassProfile;
+        let mut rng = SimRng::seed(1);
+        let profile = MixedClassProfile {
+            long_doc_fraction: 0.7,
+            multi_turn_fraction: 0.7,
+            multi_turn: MultiTurnProfile::sharegpt(),
+        };
+        let _ = Trace::generate_mixed_classes(
+            ArrivalProcess::Poisson { rate: 1.0 },
+            10,
+            &profile,
+            &mut rng,
+        );
     }
 
     #[test]
