@@ -74,6 +74,9 @@ smoke_gate reliability "^RELIABILITY .*failed_retry=0" BENCH_reliability.json
 step "autoscale smoke + gate (280-event diurnal+flash trace vs BENCH_autoscale.json)"
 smoke_gate autoscale "^AUTOSCALE .*scale_ups=" BENCH_autoscale.json
 
+step "million-scale smoke + gate (20k-request streamed reliable run vs BENCH_million.json)"
+smoke_gate million_scale "^MILLION_SCALE streamed=20000 " BENCH_million.json
+
 step "cargo build --examples --locked"
 cargo build --examples --locked
 

@@ -119,11 +119,10 @@ fn interactive_flash_attainment(trace: &Trace, records: &[RequestRecord], slo: &
 }
 
 fn static_fleet(n: usize, trace: &Trace, slo: &SloSpec) -> Sample {
-    let mut engine = FleetEngine::new(FleetConfig::paper_fleet(
-        SystemKind::LoongServe,
-        n,
-        RouterPolicy::JoinShortestQueue,
-    ));
+    let mut config =
+        FleetConfig::paper_fleet(SystemKind::LoongServe, n, RouterPolicy::JoinShortestQueue);
+    config.parallel = true;
+    let mut engine = FleetEngine::new(config);
     let start = Instant::now();
     let outcome = engine.run(trace);
     let wall_s = start.elapsed().as_secs_f64();
@@ -143,11 +142,14 @@ fn static_fleet(n: usize, trace: &Trace, slo: &SloSpec) -> Sample {
 }
 
 fn elastic_fleet(label: &str, trace: &Trace, slo: &SloSpec, cfg: &ElasticConfig) -> Sample {
-    let mut engine = FleetEngine::new(FleetConfig::paper_fleet(
+    let mut config = FleetConfig::paper_fleet(
         SystemKind::LoongServe,
         MAX_REPLICAS,
         RouterPolicy::JoinShortestQueue,
-    ));
+    );
+    // Pooled era execution; serial-equivalent per streaming_properties.
+    config.parallel = true;
+    let mut engine = FleetEngine::new(config);
     let start = Instant::now();
     let outcome = engine.run_elastic(trace, cfg);
     let wall_s = start.elapsed().as_secs_f64();

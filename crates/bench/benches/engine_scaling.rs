@@ -12,9 +12,13 @@
 //! Invocation (harness = false):
 //!
 //! ```text
-//! cargo bench --bench engine_scaling              # 1k, 4k and 16k traces
+//! cargo bench --bench engine_scaling              # 1k, 4k, 16k and 64k traces
 //! cargo bench --bench engine_scaling -- --smoke   # 1k only (CI perf smoke)
 //! ```
+//!
+//! The full million-request regime (streamed workload, 8-replica fleet,
+//! crash-flushed frontend) lives in `cargo bench --bench million_scale`,
+//! gated by `BENCH_million.json`.
 //!
 //! Reference numbers for the current tree are checked in as
 //! `BENCH_engine.json` at the repository root.
@@ -63,7 +67,7 @@ fn main() {
     let sizes: &[usize] = if smoke {
         &[1_000]
     } else {
-        &[1_000, 4_000, 16_000]
+        &[1_000, 4_000, 16_000, 64_000]
     };
 
     banner(&format!(

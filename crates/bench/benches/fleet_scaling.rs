@@ -14,9 +14,13 @@
 //! Invocation (harness = false):
 //!
 //! ```text
-//! cargo bench --bench fleet_scaling              # 1, 2 and 4 replicas
+//! cargo bench --bench fleet_scaling              # 1, 2, 4 and 8 replicas
 //! cargo bench --bench fleet_scaling -- --smoke   # 1 and 2, smaller trace
 //! ```
+//!
+//! The million-request streamed regime (crash-flushed frontend, bounded
+//! memory) lives in `cargo bench --bench million_scale`, gated by
+//! `BENCH_million.json`.
 //!
 //! Reference numbers for the current tree are checked in as
 //! `BENCH_fleet.json` at the repository root.
@@ -73,7 +77,7 @@ fn main() {
     let (sizes, count): (&[usize], usize) = if smoke {
         (&[1, 2], SMOKE_COUNT)
     } else {
-        (&[1, 2, 4], COUNT)
+        (&[1, 2, 4, 8], COUNT)
     };
 
     banner(&format!(

@@ -46,11 +46,15 @@ impl Sample {
 }
 
 fn run(label: &'static str, trace: &Trace, rel: &ReliabilityConfig) -> Sample {
-    let mut fleet = FleetEngine::new(FleetConfig::paper_fleet(
+    let mut config = FleetConfig::paper_fleet(
         SystemKind::LoongServe,
         REPLICAS,
         RouterPolicy::JoinShortestQueue,
-    ));
+    );
+    // Era segments run on the bounded worker pool; bit-for-bit equal to
+    // serial (tests/streaming_properties.rs), so the gate stays valid.
+    config.parallel = true;
+    let mut fleet = FleetEngine::new(config);
     let start = Instant::now();
     let outcome = fleet.run_reliable(trace, rel);
     let wall_s = start.elapsed().as_secs_f64();

@@ -53,7 +53,7 @@
 //! nothing between ledgers — drained work completes; only a crash can.
 
 use crate::engine::RunOutcome;
-use crate::fleet::{FleetEngine, FleetOutcome, ReplicaOutcome};
+use crate::fleet::{FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome};
 use crate::reliability::{merge_segments, FailedRequest};
 use loong_metrics::cache::CacheStats;
 use loong_metrics::elasticity::ElasticityStats;
@@ -69,9 +69,11 @@ use loong_sched::elastic::{
 use loong_sched::reliability::{healthy_candidates, RetryPolicy};
 use loong_sched::router::{FleetLoadTracker, RouteRequest};
 use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::pool::run_indexed;
 use loong_simcore::time::{SimDuration, SimTime};
 use loong_workload::failure::FailureSchedule;
 use loong_workload::request::{Request, TrafficClass};
+use loong_workload::stream::TraceStream;
 use loong_workload::trace::Trace;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -261,11 +263,11 @@ impl ElasticFleetOutcome {
 
     /// Per-class SLO attainment of the completed requests, judging each
     /// class against the base SLO scaled by its
-    /// [`TrafficClass::slo_scale`]. Classes are looked up in the trace (the
-    /// engine's records carry no class), in shed order.
-    pub fn class_attainment(&self, trace: &Trace, base: &SloSpec) -> Vec<(TrafficClass, f64)> {
-        let class_of: BTreeMap<RequestId, TrafficClass> =
-            trace.requests.iter().map(|r| (r.id, r.class)).collect();
+    /// [`TrafficClass::slo_scale`], in shed order. The class is read off
+    /// each record (the engine carries it through from the request), so no
+    /// trace-wide index is needed — streamed runs have no materialised
+    /// trace to look one up in.
+    pub fn class_attainment(&self, base: &SloSpec) -> Vec<(TrafficClass, f64)> {
         TrafficClass::all()
             .into_iter()
             .map(|class| {
@@ -273,7 +275,7 @@ impl ElasticFleetOutcome {
                     .fleet
                     .records
                     .iter()
-                    .filter(|r| class_of.get(&r.id) == Some(&class))
+                    .filter(|r| r.class == class)
                     .copied()
                     .collect();
                 (class, class_slo(base, class).attainment(&records))
@@ -325,7 +327,13 @@ struct ElasticRun<'a> {
     stats: ReliabilityStats,
     elastic: ElasticityStats,
     scale_events: Vec<FleetScaleEvent>,
-    next_original: usize,
+    /// Originals pulled from the source so far.
+    streamed: usize,
+    /// Requests currently resident in the frontend: bucket entries not yet
+    /// handed to an engine, plus retries awaiting their backoff.
+    resident: usize,
+    /// High-water mark of `resident` — the streamed paths' memory claim.
+    peak_resident: usize,
     /// Fleet-wide unresolved backlog measured at the last control
     /// boundary; the admission controller's saturation baseline.
     last_observed_backlog: u64,
@@ -338,6 +346,11 @@ struct ElasticRun<'a> {
 }
 
 impl ElasticRun<'_> {
+    fn grow_resident(&mut self) {
+        self.resident += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
+    }
+
     /// Replicas in the `Active` state (routable or provisioning).
     fn active_count(&self) -> usize {
         self.life
@@ -412,6 +425,7 @@ impl ElasticRun<'_> {
                 self.stats.re_prefilled_tokens += retry.input_len;
                 self.pending
                     .insert((retry.arrival, retry.id), (retry, attempt));
+                self.grow_resident();
             } else {
                 self.stats.retries_exhausted += 1;
                 self.failed.push(FailedRequest {
@@ -441,6 +455,33 @@ impl FleetEngine {
     /// configuration is invalid, or the failure schedule strikes a replica
     /// outside the fleet.
     pub fn run_elastic(&mut self, trace: &Trace, cfg: &ElasticConfig) -> ElasticFleetOutcome {
+        self.run_elastic_source(&trace.label, trace.requests.iter().cloned(), cfg)
+            .0
+    }
+
+    /// Runs the elastic fleet over a lazy request stream. Identical
+    /// decision-for-decision to [`FleetEngine::run_elastic`] on the
+    /// collected stream; the frontend holds only routed-not-yet-executed
+    /// requests plus pending retries, measured by the returned
+    /// [`FleetFootprint`].
+    pub fn run_elastic_stream(
+        &mut self,
+        stream: TraceStream,
+        cfg: &ElasticConfig,
+    ) -> (ElasticFleetOutcome, FleetFootprint) {
+        let label = stream.label().to_string();
+        self.run_elastic_source(&label, stream, cfg)
+    }
+
+    /// The shared implementation of the materialised and streamed elastic
+    /// runs.
+    fn run_elastic_source<I: Iterator<Item = Request>>(
+        &mut self,
+        label: &str,
+        source: I,
+        cfg: &ElasticConfig,
+    ) -> (ElasticFleetOutcome, FleetFootprint) {
+        let mut source = source.peekable();
         let n = self.config.replicas;
         assert_eq!(
             n, cfg.autoscaler.max_replicas,
@@ -502,7 +543,9 @@ impl FleetEngine {
                 ..ElasticityStats::default()
             },
             scale_events: Vec::new(),
-            next_original: 0,
+            streamed: 0,
+            resident: 0,
+            peak_resident: 0,
             last_observed_backlog: 0,
             routed_since_observation: 0,
             active_spans_s: vec![0.0; n],
@@ -518,7 +561,7 @@ impl FleetEngine {
         let mut ci = 0usize;
         let mut k = 1u64;
         loop {
-            let more_work = st.next_original < trace.requests.len() || !st.pending.is_empty();
+            let more_work = source.peek().is_some() || !st.pending.is_empty();
             let next_control =
                 (control_on && more_work).then(|| SimTime::from_secs(k as f64 * interval));
             let next_crash = crash_times.get(ci).copied();
@@ -528,15 +571,15 @@ impl FleetEngine {
                 (None, Some(t)) => t,
                 (Some(c), Some(t)) => c.min(t),
             };
-            self.elastic_era(trace, Some(b), &mut st);
+            self.elastic_era(&mut source, Some(b), &mut st);
             // At a shared instant crashes resolve first: the control
             // observation then sees the post-crash fleet.
             if next_crash == Some(b) {
-                self.crash_boundary(trace, b, &mut st);
+                self.crash_boundary(label, b, &mut st);
                 ci += 1;
             }
             if next_control == Some(b) {
-                self.control_boundary(trace, b, &mut autoscaler, &mut st);
+                self.control_boundary(label, b, &mut autoscaler, &mut st);
                 k += 1;
             }
         }
@@ -544,13 +587,23 @@ impl FleetEngine {
         // Final era and final (uncapped) segment of every replica; retired
         // and cold replicas run empty buckets, keeping the merge shape
         // identical to the reliability tier.
-        self.elastic_era(trace, None, &mut st);
+        self.elastic_era(&mut source, None, &mut st);
         let system = self.config.replica_system();
-        for r in 0..n {
-            let bucket = std::mem::take(&mut st.buckets[r]);
-            let sub = Trace::from_requests(format!("{} · replica {r}/{n}", trace.label), bucket);
-            let outcome = system.build_engine(Some(&sub)).run(&sub);
-            st.segments[r].push(outcome);
+        let finals: Vec<Trace> = (0..n)
+            .map(|r| {
+                let bucket = std::mem::take(&mut st.buckets[r]);
+                st.resident -= bucket.len();
+                Trace::from_requests(format!("{label} · replica {r}/{n}"), bucket)
+            })
+            .collect();
+        let run_final = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
+        let final_outcomes: Vec<RunOutcome> = if self.config.parallel {
+            run_indexed(finals.len(), |r| run_final(&finals[r]))
+        } else {
+            finals.iter().map(run_final).collect()
+        };
+        for (segment, outcome) in st.segments.iter_mut().zip(final_outcomes) {
+            segment.push(outcome);
         }
 
         // Merge, mirroring the reliability tier: records and rejections in
@@ -606,58 +659,71 @@ impl FleetEngine {
         }
         st.elastic.replica_seconds = st.active_spans_s.iter().sum();
 
-        ElasticFleetOutcome {
-            fleet: FleetOutcome {
-                per_replica,
-                assignments: st.assignments,
-                records,
-                rejected,
-                unfinished,
-                sim_time,
-                iterations,
-                migration_bytes,
-                scheduler_calls,
-                pressure,
-                cache,
+        (
+            ElasticFleetOutcome {
+                fleet: FleetOutcome {
+                    per_replica,
+                    assignments: st.assignments,
+                    records,
+                    rejected,
+                    unfinished,
+                    sim_time,
+                    iterations,
+                    migration_bytes,
+                    scheduler_calls,
+                    pressure,
+                    cache,
+                },
+                failed: st.failed,
+                shed: st.shed,
+                scale_events: st.scale_events,
+                route_instants: st.route_instants,
+                elasticity: st.elastic,
+                reliability: st.stats,
+                sla_windows,
             },
-            failed: st.failed,
-            shed: st.shed,
-            scale_events: st.scale_events,
-            route_instants: st.route_instants,
-            elasticity: st.elastic,
-            reliability: st.stats,
-            sla_windows,
-        }
+            FleetFootprint {
+                streamed_requests: st.streamed,
+                peak_resident_requests: st.peak_resident,
+            },
+        )
     }
 
-    /// Routes every arrival — original trace requests (behind the
-    /// admission controller) and pending retries (which bypass it)
-    /// interleaved by (arrival, id) — strictly before `end` (all of them
-    /// when `end` is `None`).
-    fn elastic_era(&mut self, trace: &Trace, end: Option<SimTime>, st: &mut ElasticRun<'_>) {
+    /// Routes every arrival — source requests (behind the admission
+    /// controller) and pending retries (which bypass it) interleaved by
+    /// (arrival, id) — strictly before `end` (all of them when `end` is
+    /// `None`). The source is pulled lazily: nothing beyond the era
+    /// boundary is ever materialised.
+    fn elastic_era<I: Iterator<Item = Request>>(
+        &mut self,
+        source: &mut std::iter::Peekable<I>,
+        end: Option<SimTime>,
+        st: &mut ElasticRun<'_>,
+    ) {
         let in_era = |t: SimTime| end.is_none_or(|e| t < e);
         loop {
-            let original = trace
-                .requests
-                .get(st.next_original)
-                .filter(|req| in_era(req.arrival));
+            let original_key = source
+                .peek()
+                .map(|req| (req.arrival, req.id))
+                .filter(|&(at, _)| in_era(at));
             let retry_key = st
                 .pending
                 .first_key_value()
                 .map(|(&key, _)| key)
                 .filter(|&(at, _)| in_era(at));
-            match (original, retry_key) {
+            match (original_key, retry_key) {
                 (None, None) => break,
-                (Some(req), retry) => {
+                (Some(okey), retry) => {
                     if let Some(key) = retry {
-                        if key < (req.arrival, req.id) {
+                        if key < okey {
                             let (retry_req, _) = st.pending.remove(&key).expect("key just seen");
+                            st.resident -= 1;
                             self.elastic_route(retry_req, st);
                             continue;
                         }
                     }
-                    let req = req.clone();
-                    st.next_original += 1;
+                    let req = source.next().expect("peeked above");
+                    st.streamed += 1;
                     if let Some(AdmissionDecision::Shed(reason)) = st.admission_decision(&req) {
                         st.record_shed(&req, reason);
                         continue;
@@ -666,6 +732,7 @@ impl FleetEngine {
                 }
                 (None, Some(key)) => {
                     let (retry_req, _) = st.pending.remove(&key).expect("key just seen");
+                    st.resident -= 1;
                     self.elastic_route(retry_req, st);
                 }
             }
@@ -726,45 +793,57 @@ impl FleetEngine {
         st.route_instants.push(start);
         st.assigned[replica.index()] += 1;
         st.buckets[replica.index()].push(placed);
+        st.grow_resident();
     }
 
     /// Resolves every crash striking at `b`: the crashed replica runs its
     /// segment capped at `b` and its unresolved requests become casualties
     /// — identical to the reliability tier.
-    fn crash_boundary(&mut self, trace: &Trace, b: SimTime, st: &mut ElasticRun<'_>) {
+    fn crash_boundary(&mut self, label: &str, b: SimTime, st: &mut ElasticRun<'_>) {
         let n = st.n;
-        for event_replica in st
+        // The capped engine runs are pure, so they go to the worker pool;
+        // casualty settlement replays serially in replica-id order (events
+        // are sorted by (crash, replica)). The sub-trace holds the routed
+        // bucket, so settlement scans it without a separate copy.
+        let crashing: Vec<(ReplicaId, Trace)> = st
             .cfg
             .schedule
             .events()
             .iter()
             .filter(|e| e.crash == b)
-            .map(|e| e.replica)
-            .collect::<Vec<_>>()
-        {
-            let replica = event_replica;
-            let bucket = std::mem::take(&mut st.buckets[replica.index()]);
-            if bucket.is_empty() {
-                // Cold, retired, or simply idle since its last flush —
-                // nothing for the crash to take.
-                continue;
-            }
-            let sub = Trace::from_requests(
-                format!("{} · replica {replica}/{n} ∣ crash at {b}", trace.label),
-                bucket.clone(),
-            );
-            let system = self
-                .config
-                .replica_system()
-                .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
-            let outcome = system.build_engine(Some(&sub)).run(&sub);
+            .filter_map(|event| {
+                let replica = event.replica;
+                let bucket = std::mem::take(&mut st.buckets[replica.index()]);
+                st.resident -= bucket.len();
+                // An empty bucket is a cold, retired, or simply idle
+                // replica — nothing for the crash to take.
+                (!bucket.is_empty()).then(|| {
+                    let sub = Trace::from_requests(
+                        format!("{label} · replica {replica}/{n} ∣ crash at {b}"),
+                        bucket,
+                    );
+                    (replica, sub)
+                })
+            })
+            .collect();
+        let system = self
+            .config
+            .replica_system()
+            .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
+        let run_segment = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
+        let outcomes: Vec<RunOutcome> = if self.config.parallel {
+            run_indexed(crashing.len(), |i| run_segment(&crashing[i].1))
+        } else {
+            crashing.iter().map(|(_, sub)| run_segment(sub)).collect()
+        };
+        for ((replica, sub), outcome) in crashing.into_iter().zip(outcomes) {
             let resolved: BTreeSet<RequestId> = outcome
                 .records
                 .iter()
                 .map(|r| r.id)
                 .chain(outcome.rejected.iter().map(|r| r.0))
                 .collect();
-            st.settle_casualties(&bucket, &resolved, replica, b);
+            st.settle_casualties(&sub.requests, &resolved, replica, b);
             st.segments[replica.index()].push(outcome);
         }
     }
@@ -773,18 +852,18 @@ impl FleetEngine {
     /// decide, apply the decision.
     fn control_boundary(
         &mut self,
-        trace: &Trace,
+        label: &str,
         b: SimTime,
         autoscaler: &mut Autoscaler,
         st: &mut ElasticRun<'_>,
     ) {
-        let (signals, backlogs) = self.observe(trace, b, st);
+        let (signals, backlogs) = self.observe(label, b, st);
         st.last_observed_backlog = signals.backlog_tokens;
         st.routed_since_observation = 0;
         match autoscaler.decide(b.as_secs(), &signals) {
             ScaleDecision::Hold => {}
             ScaleDecision::Up(count) => self.scale_up(b, count, st),
-            ScaleDecision::Down(count) => self.scale_down(trace, b, count, &backlogs, st),
+            ScaleDecision::Down(count) => self.scale_down(label, b, count, &backlogs, st),
         }
         let active = st.active_count() as u64;
         st.elastic.min_active_replicas = st.elastic.min_active_replicas.min(active);
@@ -796,14 +875,24 @@ impl FleetEngine {
     /// inside the window. Observation runs replay each ready replica's
     /// bucket capped at `b` and are then discarded — they never touch the
     /// accounting, which is what keeps an armed-but-idle controller
-    /// bit-for-bit.
-    fn observe(&self, trace: &Trace, b: SimTime, st: &ElasticRun<'_>) -> (FleetSignals, Vec<u64>) {
+    /// bit-for-bit. Each bucket is *moved* into its probe sub-trace and
+    /// moved back afterwards: `from_requests`' stable arrival sort is
+    /// idempotent under the later segment sorts, so the round-trip cannot
+    /// perturb any subsequent segment — and the observation needs no copy
+    /// of the bucket.
+    fn observe(
+        &self,
+        label: &str,
+        b: SimTime,
+        st: &mut ElasticRun<'_>,
+    ) -> (FleetSignals, Vec<u64>) {
         let n = st.n;
         let window_start = b.as_secs() - st.cfg.autoscaler.control_interval_s;
         let mut backlogs = vec![0u64; n];
         let mut window_records: Vec<RequestRecord> = Vec::new();
         let mut ready = 0usize;
-        for (r, backlog) in backlogs.iter_mut().enumerate() {
+        let mut probes: Vec<(usize, Trace)> = Vec::new();
+        for r in 0..n {
             let Life::Active { since } = st.life[r] else {
                 continue;
             };
@@ -814,22 +903,34 @@ impl FleetEngine {
             if st.buckets[r].is_empty() {
                 continue;
             }
-            let sub = Trace::from_requests(
-                format!("{} · replica {r}/{n} ∣ observe at {b}", trace.label),
-                st.buckets[r].clone(),
-            );
-            let system = self
-                .config
-                .replica_system()
-                .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
-            let outcome = system.build_engine(Some(&sub)).run(&sub);
+            let bucket = std::mem::take(&mut st.buckets[r]);
+            probes.push((
+                r,
+                Trace::from_requests(
+                    format!("{label} · replica {r}/{n} ∣ observe at {b}"),
+                    bucket,
+                ),
+            ));
+        }
+        let system = self
+            .config
+            .replica_system()
+            .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
+        let run_probe = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
+        let outcomes: Vec<RunOutcome> = if self.config.parallel {
+            run_indexed(probes.len(), |i| run_probe(&probes[i].1))
+        } else {
+            probes.iter().map(|(_, sub)| run_probe(sub)).collect()
+        };
+        for ((r, sub), outcome) in probes.into_iter().zip(outcomes) {
             let resolved: BTreeSet<RequestId> = outcome
                 .records
                 .iter()
                 .map(|rec| rec.id)
                 .chain(outcome.rejected.iter().map(|rej| rej.0))
                 .collect();
-            *backlog = st.buckets[r]
+            backlogs[r] = sub
+                .requests
                 .iter()
                 .filter(|q| !resolved.contains(&q.id))
                 .map(|q| q.input_len + q.max_output_len)
@@ -841,6 +942,7 @@ impl FleetEngine {
                     .filter(|rec| rec.finish <= b && rec.finish.as_secs() > window_start)
                     .copied(),
             );
+            st.buckets[r] = sub.requests;
         }
         let signals = FleetSignals {
             attainment: st.cfg.signal_slo.attainment(&window_records),
@@ -890,7 +992,7 @@ impl FleetEngine {
     /// remainder becomes crash casualties.
     fn scale_down(
         &mut self,
-        trace: &Trace,
+        label: &str,
         b: SimTime,
         want: usize,
         backlogs: &[u64],
@@ -915,14 +1017,14 @@ impl FleetEngine {
             // pins must not resurrect on the retired replica).
             self.router.on_replica_removed(replica);
             let bucket = std::mem::take(&mut st.buckets[r]);
+            st.resident -= bucket.len();
             let mut drain_end = b;
             if !bucket.is_empty() {
+                // The sub-trace owns the bucket; a mid-drain crash settles
+                // casualties off `sub.requests` directly.
                 let sub = Trace::from_requests(
-                    format!(
-                        "{} · replica {replica}/{} ∣ drain at {b}",
-                        trace.label, st.n
-                    ),
-                    bucket.clone(),
+                    format!("{label} · replica {replica}/{} ∣ drain at {b}", st.n),
+                    bucket,
                 );
                 let outcome = self
                     .config
@@ -954,7 +1056,7 @@ impl FleetEngine {
                         .map(|rec| rec.id)
                         .chain(capped.rejected.iter().map(|rej| rej.0))
                         .collect();
-                    st.settle_casualties(&bucket, &resolved, replica, c);
+                    st.settle_casualties(&sub.requests, &resolved, replica, c);
                     st.segments[r].push(capped);
                     drain_end = c;
                 } else {
@@ -1244,7 +1346,7 @@ mod tests {
                 assert_eq!(s.reason, ShedReason::DeadlineExceeded);
             }
         }
-        let attainment = outcome.class_attainment(&trace, &SloSpec::default_for_lwm());
+        let attainment = outcome.class_attainment(&SloSpec::default_for_lwm());
         assert_eq!(attainment.len(), 3);
     }
 

@@ -1204,6 +1204,7 @@ impl ServingEngine {
                             .expect("finished requests produced a first token"),
                         finish: s.finish.expect("finished requests finished"),
                         preemptions: s.preemptions,
+                        class: s.request.class,
                     });
                 }
                 Phase::Rejected => {}

@@ -41,7 +41,10 @@ use loong_metrics::slo::SloSpec;
 use loong_model::config::ModelConfig;
 use loong_sched::router::{all_replicas, FleetLoadTracker, RouteRequest, Router, RouterPolicy};
 use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::pool::run_indexed;
 use loong_simcore::time::SimTime;
+use loong_workload::request::Request;
+use loong_workload::stream::TraceStream;
 use loong_workload::trace::Trace;
 
 /// Static configuration of a fleet run.
@@ -72,8 +75,10 @@ pub struct FleetConfig {
     pub prefix_cache: Option<PrefixCacheConfig>,
     /// Per-instance KV capacity override applied to every replica.
     pub kv_capacity_override: Option<u64>,
-    /// Run replicas on worker threads. Purely a wall-clock choice: replicas
-    /// are independent, so the outcome is identical either way.
+    /// Run replicas on a bounded worker pool, capped at the host's
+    /// available parallelism ([`loong_simcore::pool`]). Purely a
+    /// wall-clock choice: replicas are independent and the pool merges in
+    /// replica-id order, so the outcome is identical either way.
     pub parallel: bool,
 }
 
@@ -108,6 +113,30 @@ impl FleetConfig {
             max_sim_time: None,
             prefix_cache: self.prefix_cache,
         }
+    }
+}
+
+/// Deterministic frontend-memory ledger of a streamed fleet run.
+///
+/// Counts *requests*, not bytes: a simulation-exact proxy that is
+/// bit-for-bit reproducible across hosts, which RSS never is. The
+/// benches report both — this ledger gates, RSS informs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetFootprint {
+    /// Requests pulled from the stream over the whole run.
+    pub streamed_requests: usize,
+    /// Peak requests resident in the frontend at any instant: routed
+    /// bucket entries not yet handed to a replica engine, plus crash
+    /// retries awaiting their backoff. Era boundaries flush buckets, so
+    /// under a boundary-rich schedule this stays far below the stream
+    /// length — the streamed paths' O(active + pending-retries) claim.
+    pub peak_resident_requests: usize,
+}
+
+impl FleetFootprint {
+    /// Folds the current resident count into the peak.
+    pub(crate) fn on_resident(&mut self, resident: usize) {
+        self.peak_resident_requests = self.peak_resident_requests.max(resident);
     }
 }
 
@@ -279,21 +308,74 @@ impl FleetEngine {
             engine.run(sub)
         };
         let outcomes: Vec<RunOutcome> = if self.config.parallel {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = subs
-                    .iter()
-                    .map(|sub| scope.spawn(|| run_replica(sub)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("replica worker panicked"))
-                    .collect()
-            })
+            // Bounded pool, not thread-per-replica: a 64-replica fleet on a
+            // 8-core host runs 8 workers pulling replica indices, and the
+            // pool merges by index so the outcome is bit-for-bit serial.
+            run_indexed(subs.len(), |i| run_replica(&subs[i]))
         } else {
             subs.iter().map(run_replica).collect()
         };
 
         Self::merge(subs, outcomes, assignments)
+    }
+
+    /// Runs the fleet over a lazy request stream: requests are routed one
+    /// at a time as they are pulled, so the frontend never materialises
+    /// the trace — only the per-replica buckets the engines need anyway.
+    /// Collecting the same stream and calling [`FleetEngine::run`] yields
+    /// a bit-for-bit identical [`FleetOutcome`]
+    /// (`tests/streaming_properties.rs` pins this across every policy).
+    pub fn run_stream(&mut self, stream: TraceStream) -> (FleetOutcome, FleetFootprint) {
+        let n = self.config.replicas;
+        let label = stream.label().to_string();
+        self.router = self.config.policy.build();
+        let mut tracker = FleetLoadTracker::new(n);
+        let all = all_replicas(n);
+        let mut buckets: Vec<Vec<Request>> = vec![Vec::new(); n];
+        let mut assignments: Vec<(RequestId, ReplicaId)> = Vec::new();
+        let mut footprint = FleetFootprint::default();
+        let mut resident = 0usize;
+        for req in stream {
+            let route_req = RouteRequest {
+                id: req.id,
+                arrival: req.arrival,
+                input_len: req.input_len,
+                max_output_len: req.max_output_len,
+                conversation: req.conversation,
+            };
+            let replica = self.router.route(&route_req, tracker.loads(), &all);
+            assert!(
+                replica.index() < n,
+                "router returned out-of-range {replica}"
+            );
+            tracker.on_assign(replica, &route_req);
+            assignments.push((req.id, replica));
+            buckets[replica.index()].push(req);
+            footprint.streamed_requests += 1;
+            resident += 1;
+            footprint.on_resident(resident);
+        }
+        // The buckets are exactly `split_by_assignment`'s sub-traces:
+        // arrival order is preserved by the in-order pushes.
+        let subs: Vec<Trace> = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(r, requests)| Trace {
+                label: format!("{label} · replica {r}/{n}"),
+                requests,
+            })
+            .collect();
+        let system = self.config.replica_system();
+        let run_replica = |sub: &Trace| -> RunOutcome {
+            let mut engine = system.build_engine(Some(sub));
+            engine.run(sub)
+        };
+        let outcomes: Vec<RunOutcome> = if self.config.parallel {
+            run_indexed(subs.len(), |i| run_replica(&subs[i]))
+        } else {
+            subs.iter().map(run_replica).collect()
+        };
+        (Self::merge(subs, outcomes, assignments), footprint)
     }
 
     /// Merges per-replica outcomes into the fleet outcome. Merge order is

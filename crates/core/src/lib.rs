@@ -60,7 +60,7 @@ pub use elastic::{
 };
 pub use engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
 pub use experiment::{compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec};
-pub use fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
+pub use fleet::{FleetConfig, FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome};
 pub use reliability::{FailedRequest, ReliabilityConfig, ReliableFleetOutcome};
 pub use systems::{PressureMode, SystemKind, SystemUnderTest};
 
@@ -74,7 +74,9 @@ pub mod prelude {
     pub use crate::experiment::{
         compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec,
     };
-    pub use crate::fleet::{FleetConfig, FleetEngine, FleetOutcome, ReplicaOutcome};
+    pub use crate::fleet::{
+        FleetConfig, FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome,
+    };
     pub use crate::reliability::{FailedRequest, ReliabilityConfig, ReliableFleetOutcome};
     pub use crate::report;
     pub use crate::systems::{PressureMode, SystemKind, SystemUnderTest};

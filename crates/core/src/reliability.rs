@@ -54,7 +54,7 @@
 //! pin this.
 
 use crate::engine::RunOutcome;
-use crate::fleet::{FleetEngine, FleetOutcome, ReplicaOutcome};
+use crate::fleet::{FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome};
 use loong_metrics::cache::CacheStats;
 use loong_metrics::fleet::FleetSummary;
 use loong_metrics::pressure::PressureStats;
@@ -66,9 +66,11 @@ use loong_sched::reliability::{
 };
 use loong_sched::router::{FleetLoadTracker, RouteRequest};
 use loong_simcore::ids::{ReplicaId, RequestId};
+use loong_simcore::pool::run_indexed;
 use loong_simcore::time::{SimDuration, SimTime};
 use loong_workload::failure::FailureSchedule;
 use loong_workload::request::Request;
+use loong_workload::stream::TraceStream;
 use loong_workload::trace::Trace;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -191,6 +193,20 @@ struct RoutingLedger {
     assignments: Vec<(RequestId, ReplicaId)>,
     /// Attempts assigned per replica over the whole run.
     assigned: Vec<usize>,
+    /// Originals pulled from the source so far.
+    streamed: usize,
+    /// Requests currently resident in the frontend: bucket entries not yet
+    /// handed to an engine, plus retries awaiting their backoff.
+    resident: usize,
+    /// High-water mark of `resident` — the streamed paths' memory claim.
+    peak_resident: usize,
+}
+
+impl RoutingLedger {
+    fn grow_resident(&mut self) {
+        self.resident += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
+    }
 }
 
 impl FleetEngine {
@@ -203,6 +219,36 @@ impl FleetEngine {
     ///
     /// Panics if the schedule strikes a replica outside the fleet.
     pub fn run_reliable(&mut self, trace: &Trace, rel: &ReliabilityConfig) -> ReliableFleetOutcome {
+        self.run_reliable_source(&trace.label, trace.requests.iter().cloned(), rel)
+            .0
+    }
+
+    /// Runs the fleet under failure injection over a lazy request stream.
+    /// Identical decision-for-decision to [`FleetEngine::run_reliable`] on
+    /// the collected stream — arrivals and retries interleave by
+    /// `(arrival, id)` either way — but the frontend holds only routed-
+    /// not-yet-executed requests plus pending retries, which the returned
+    /// [`FleetFootprint`] measures. Under a boundary-rich schedule the
+    /// buckets flush at every crash, so peak residency tracks the *active*
+    /// window, not the stream length.
+    pub fn run_reliable_stream(
+        &mut self,
+        stream: TraceStream,
+        rel: &ReliabilityConfig,
+    ) -> (ReliableFleetOutcome, FleetFootprint) {
+        let label = stream.label().to_string();
+        self.run_reliable_source(&label, stream, rel)
+    }
+
+    /// The shared implementation of the materialised and streamed
+    /// reliability runs.
+    fn run_reliable_source<I: Iterator<Item = Request>>(
+        &mut self,
+        label: &str,
+        source: I,
+        rel: &ReliabilityConfig,
+    ) -> (ReliableFleetOutcome, FleetFootprint) {
+        let mut source = source.peekable();
         let n = self.config.replicas;
         if let Some(max) = rel.schedule.max_replica() {
             assert!(
@@ -220,6 +266,9 @@ impl FleetEngine {
             buckets: vec![Vec::new(); n],
             assignments: Vec::new(),
             assigned: vec![0usize; n],
+            streamed: 0,
+            resident: 0,
+            peak_resident: 0,
         };
         let mut segments: Vec<Vec<RunOutcome>> = vec![Vec::new(); n];
         // Retries waiting for their backoff to elapse, keyed by
@@ -234,13 +283,10 @@ impl FleetEngine {
             downtime_s: rel.schedule.total_downtime().as_secs(),
             ..ReliabilityStats::default()
         };
-        let mut next_original = 0usize;
-
         for &b in &boundaries {
             self.drain_era(
-                trace,
+                &mut source,
                 Some(b),
-                &mut next_original,
                 &mut pending,
                 rel,
                 breaker.as_ref(),
@@ -248,31 +294,51 @@ impl FleetEngine {
                 &mut ledger,
             );
             // Replicas crashing at b, in ascending id order (events are
-            // sorted by (crash, replica)).
-            for event in rel.schedule.events().iter().filter(|e| e.crash == b) {
-                let replica = event.replica;
-                let bucket = std::mem::take(&mut ledger.buckets[replica.index()]);
-                if bucket.is_empty() {
-                    continue;
-                }
-                let sub = Trace::from_requests(
-                    format!("{} · replica {replica}/{n} ∣ crash at {b}", trace.label),
-                    bucket.clone(),
-                );
-                let system = self
-                    .config
-                    .replica_system()
-                    .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
-                let outcome = system.build_engine(Some(&sub)).run(&sub);
+            // sorted by (crash, replica)). The capped engine runs are pure,
+            // so they go to the worker pool; casualty settlement — breaker
+            // feed, retry scheduling, terminal failure — replays serially
+            // in that same replica order afterwards.
+            let crashing: Vec<(ReplicaId, Trace)> = rel
+                .schedule
+                .events()
+                .iter()
+                .filter(|e| e.crash == b)
+                .filter_map(|event| {
+                    let replica = event.replica;
+                    let bucket = std::mem::take(&mut ledger.buckets[replica.index()]);
+                    ledger.resident -= bucket.len();
+                    (!bucket.is_empty()).then(|| {
+                        let sub = Trace::from_requests(
+                            format!("{label} · replica {replica}/{n} ∣ crash at {b}"),
+                            bucket,
+                        );
+                        (replica, sub)
+                    })
+                })
+                .collect();
+            let system = self
+                .config
+                .replica_system()
+                .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
+            let run_segment = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
+            let outcomes: Vec<RunOutcome> = if self.config.parallel {
+                run_indexed(crashing.len(), |i| run_segment(&crashing[i].1))
+            } else {
+                crashing.iter().map(|(_, sub)| run_segment(sub)).collect()
+            };
+            for ((replica, sub), outcome) in crashing.into_iter().zip(outcomes) {
                 // Casualties: assigned to this segment but neither
-                // completed nor rejected when the crash struck.
+                // completed nor rejected when the crash struck. The
+                // sub-trace holds the routed bucket (arrival-sorted), so
+                // the scan needs no separate copy of it.
                 let resolved: BTreeSet<RequestId> = outcome
                     .records
                     .iter()
                     .map(|r| r.id)
                     .chain(outcome.rejected.iter().map(|r| r.0))
                     .collect();
-                let mut casualties: Vec<&Request> = bucket
+                let mut casualties: Vec<&Request> = sub
+                    .requests
                     .iter()
                     .filter(|req| !resolved.contains(&req.id))
                     .collect();
@@ -292,6 +358,7 @@ impl FleetEngine {
                         stats.retries_scheduled += 1;
                         stats.re_prefilled_tokens += retry.input_len;
                         pending.insert((retry.arrival, retry.id), (retry, attempt));
+                        ledger.grow_resident();
                     } else {
                         stats.retries_exhausted += 1;
                         failed.push(FailedRequest {
@@ -312,9 +379,8 @@ impl FleetEngine {
 
         // Final era and final (uncapped) segment of every replica.
         self.drain_era(
-            trace,
+            &mut source,
             None,
-            &mut next_original,
             &mut pending,
             rel,
             breaker.as_ref(),
@@ -322,10 +388,20 @@ impl FleetEngine {
             &mut ledger,
         );
         let system = self.config.replica_system();
-        for (r, segment) in segments.iter_mut().enumerate().take(n) {
-            let bucket = std::mem::take(&mut ledger.buckets[r]);
-            let sub = Trace::from_requests(format!("{} · replica {r}/{n}", trace.label), bucket);
-            let outcome = system.build_engine(Some(&sub)).run(&sub);
+        let finals: Vec<Trace> = (0..n)
+            .map(|r| {
+                let bucket = std::mem::take(&mut ledger.buckets[r]);
+                ledger.resident -= bucket.len();
+                Trace::from_requests(format!("{label} · replica {r}/{n}"), bucket)
+            })
+            .collect();
+        let run_final = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
+        let final_outcomes: Vec<RunOutcome> = if self.config.parallel {
+            run_indexed(finals.len(), |r| run_final(&finals[r]))
+        } else {
+            finals.iter().map(run_final).collect()
+        };
+        for (segment, outcome) in segments.iter_mut().zip(final_outcomes) {
             segment.push(outcome);
         }
 
@@ -372,35 +448,41 @@ impl FleetEngine {
         let failure_instants: Vec<SimTime> = failed.iter().map(|f| f.at).collect();
         let sla_windows = availability_windows(rel.sla_window_s, &records, &failure_instants);
 
-        ReliableFleetOutcome {
-            fleet: FleetOutcome {
-                per_replica,
-                assignments: ledger.assignments,
-                records,
-                rejected,
-                unfinished,
-                sim_time,
-                iterations,
-                migration_bytes,
-                scheduler_calls,
-                pressure,
-                cache,
+        (
+            ReliableFleetOutcome {
+                fleet: FleetOutcome {
+                    per_replica,
+                    assignments: ledger.assignments,
+                    records,
+                    rejected,
+                    unfinished,
+                    sim_time,
+                    iterations,
+                    migration_bytes,
+                    scheduler_calls,
+                    pressure,
+                    cache,
+                },
+                failed,
+                reliability: stats,
+                sla_windows,
             },
-            failed,
-            reliability: stats,
-            sla_windows,
-        }
+            FleetFootprint {
+                streamed_requests: ledger.streamed,
+                peak_resident_requests: ledger.peak_resident,
+            },
+        )
     }
 
-    /// Routes every arrival — original trace requests and pending retries
+    /// Routes every arrival — source requests and pending retries
     /// interleaved by (arrival, id) — strictly before `end` (all of them
-    /// when `end` is `None`).
+    /// when `end` is `None`). The source is pulled lazily: nothing beyond
+    /// the era boundary is ever materialised.
     #[allow(clippy::too_many_arguments)]
-    fn drain_era(
+    fn drain_era<I: Iterator<Item = Request>>(
         &mut self,
-        trace: &Trace,
+        source: &mut std::iter::Peekable<I>,
         end: Option<SimTime>,
-        next_original: &mut usize,
         pending: &mut BTreeMap<(SimTime, RequestId), (Request, u32)>,
         rel: &ReliabilityConfig,
         breaker: Option<&CircuitBreaker>,
@@ -409,10 +491,10 @@ impl FleetEngine {
     ) {
         let in_era = |t: SimTime| end.is_none_or(|e| t < e);
         loop {
-            let original = trace
-                .requests
-                .get(*next_original)
-                .filter(|req| in_era(req.arrival));
+            let original_key = source
+                .peek()
+                .map(|req| (req.arrival, req.id))
+                .filter(|&(at, _)| in_era(at));
             let retry_key = pending
                 .first_key_value()
                 .map(|(&key, _)| key)
@@ -420,22 +502,24 @@ impl FleetEngine {
             // Pick the earlier of the two streams by (arrival, id); an
             // original can never share its id with a pending retry, so the
             // order is total.
-            match (original, retry_key) {
+            match (original_key, retry_key) {
                 (None, None) => break,
-                (Some(req), retry) => {
+                (Some(okey), retry) => {
                     if let Some(key) = retry {
-                        if key < (req.arrival, req.id) {
+                        if key < okey {
                             let (retry_req, _) = pending.remove(&key).expect("key just seen");
+                            ledger.resident -= 1;
                             self.route_attempt(retry_req, rel, breaker, tracker, ledger);
                             continue;
                         }
                     }
-                    let req = req.clone();
-                    *next_original += 1;
+                    let req = source.next().expect("peeked above");
+                    ledger.streamed += 1;
                     self.route_attempt(req, rel, breaker, tracker, ledger);
                 }
                 (None, Some(key)) => {
                     let (retry_req, _) = pending.remove(&key).expect("key just seen");
+                    ledger.resident -= 1;
                     self.route_attempt(retry_req, rel, breaker, tracker, ledger);
                 }
             }
@@ -500,6 +584,7 @@ impl FleetEngine {
         ledger.assignments.push((placed.id, replica));
         ledger.assigned[replica.index()] += 1;
         ledger.buckets[replica.index()].push(placed);
+        ledger.grow_resident();
     }
 }
 

@@ -110,6 +110,7 @@ mod tests {
             first_token: SimTime::from_secs(per_token * 25.0),
             finish: SimTime::from_secs(per_token * 100.0),
             preemptions: 0,
+            class: Default::default(),
         }
     }
 

@@ -36,6 +36,7 @@
 //!     first_token: SimTime::from_secs(1.0),
 //!     finish: SimTime::from_secs(6.0),
 //!     preemptions: 0,
+//!     class: Default::default(),
 //! };
 //! assert!(record.normalized_input_latency() <= 0.001);
 //! ```

@@ -5,6 +5,7 @@
 //! latency, normalised input (prefill) latency, normalised output (decode)
 //! latency, SLO attainment and goodput — derive from these records.
 
+use loong_simcore::class::TrafficClass;
 use loong_simcore::ids::RequestId;
 use loong_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,12 @@ pub struct RequestRecord {
     pub finish: SimTime,
     /// Number of times the request was preempted/evicted and later resumed.
     pub preemptions: u32,
+    /// The service class the request arrived under — carried through from
+    /// the request so per-class reporting never needs the originating trace
+    /// (streamed runs have no materialised trace to look classes up in).
+    /// Defaults to [`TrafficClass::Interactive`], the class of every
+    /// pre-elasticity record.
+    pub class: TrafficClass,
 }
 
 impl RequestRecord {
@@ -104,6 +111,7 @@ mod tests {
             first_token: SimTime::from_secs(4.0),
             finish: SimTime::from_secs(9.0),
             preemptions: 0,
+            class: TrafficClass::default(),
         }
     }
 

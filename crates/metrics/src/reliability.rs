@@ -159,6 +159,7 @@ mod tests {
             first_token: SimTime::from_secs(0.5),
             finish: SimTime::from_secs(finish),
             preemptions: 0,
+            class: Default::default(),
         }
     }
 

@@ -184,6 +184,7 @@ mod tests {
             first_token: SimTime::from_secs(arrival + 0.5),
             finish: SimTime::from_secs(finish),
             preemptions: 1,
+            class: Default::default(),
         }
     }
 

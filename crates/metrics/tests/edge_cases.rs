@@ -33,6 +33,7 @@ fn record(id: u64) -> RequestRecord {
         first_token: SimTime::from_secs(0.5),
         finish: SimTime::from_secs(2.0),
         preemptions: 0,
+        class: Default::default(),
     }
 }
 

@@ -12,7 +12,9 @@
 //!   (Poisson arrivals, Zipf mixtures, log-uniform/log-normal lengths),
 //! * [`ids`] — strongly-typed identifiers shared across the workspace,
 //! * [`table`] — a dense request table with incrementally maintained
-//!   phase indices, the backbone of the engine's O(active) run loop.
+//!   phase indices, the backbone of the engine's O(active) run loop,
+//! * [`pool`] — a bounded, deterministic fork-join worker pool used by the
+//!   fleet runners to execute independent replica segments in parallel.
 //!
 //! # Examples
 //!
@@ -41,16 +43,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod class;
 pub mod distributions;
 pub mod events;
 pub mod ids;
+pub mod pool;
 pub mod rng;
 pub mod table;
 pub mod time;
 
+pub use class::TrafficClass;
 pub use distributions::{Empirical, Exponential, LogNormal, LogUniform, Zipf};
 pub use events::{Event, EventQueue};
 pub use ids::{BatchId, GpuId, GroupId, IdAllocator, InstanceId, NodeId, ReplicaId, RequestId};
+pub use pool::{run_indexed, worker_cap};
 pub use rng::SimRng;
 pub use table::{PhaseClass, RequestTable};
 pub use time::{SimDuration, SimTime};

@@ -32,25 +32,28 @@ pub mod arrival;
 pub mod datasets;
 pub mod failure;
 pub mod request;
+pub mod stream;
 pub mod trace;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalProcess, ArrivalStream};
 pub use datasets::{
     DatasetKind, DatasetSampler, LengthSample, MixedClassProfile, MultiTurnProfile,
     ZipfMixedSampler,
 };
 pub use failure::{FailureEvent, FailureSchedule};
 pub use request::{Request, TrafficClass};
+pub use stream::TraceStream;
 pub use trace::{Trace, TraceStats};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
-    pub use crate::arrival::ArrivalProcess;
+    pub use crate::arrival::{ArrivalProcess, ArrivalStream};
     pub use crate::datasets::{
         DatasetKind, DatasetSampler, LengthSample, MixedClassProfile, MultiTurnProfile,
         ZipfMixedSampler,
     };
     pub use crate::failure::{FailureEvent, FailureSchedule};
     pub use crate::request::{Request, TrafficClass};
+    pub use crate::stream::TraceStream;
     pub use crate::trace::{Trace, TraceStats};
 }

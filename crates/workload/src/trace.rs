@@ -7,13 +7,10 @@
 //! apples-to-apples.
 
 use crate::arrival::ArrivalProcess;
-use crate::datasets::{
-    DatasetKind, DatasetSampler, MixedClassProfile, MultiTurnProfile, ZipfMixedSampler,
-};
-use crate::request::{Request, TrafficClass};
-use loong_simcore::ids::{ConversationId, IdAllocator, RequestId};
+use crate::datasets::{DatasetKind, MixedClassProfile, MultiTurnProfile};
+use crate::request::Request;
+use crate::stream::TraceStream;
 use loong_simcore::rng::SimRng;
-use loong_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A fully materialised workload trace.
@@ -49,28 +46,16 @@ pub struct TraceStats {
 impl Trace {
     /// Generates a trace of `count` requests from a standard dataset with a
     /// given arrival process.
+    ///
+    /// This is the collected form of [`TraceStream::dataset`]; prefer the
+    /// stream when the trace is only consumed once in arrival order.
     pub fn generate(
         dataset: DatasetKind,
         arrivals: ArrivalProcess,
         count: usize,
         rng: &mut SimRng,
     ) -> Self {
-        let sampler = DatasetSampler::new(dataset);
-        let mut length_rng = rng.fork("lengths");
-        let mut arrival_rng = rng.fork("arrivals");
-        let times = arrivals.generate(count, &mut arrival_rng);
-        let mut ids = IdAllocator::<RequestId>::new();
-        let requests = times
-            .into_iter()
-            .map(|at| {
-                let s = sampler.sample(&mut length_rng);
-                Request::new(ids.next(), at, s.input_len, s.output_len)
-            })
-            .collect();
-        Trace {
-            label: format!("{} @ {:.3} req/s", dataset.name(), arrivals.mean_rate()),
-            requests,
-        }
+        TraceStream::dataset(dataset, arrivals, count, rng).collect_trace()
     }
 
     /// Generates a Figure-12-style trace: the Mixed dataset reshaped by a
@@ -81,25 +66,7 @@ impl Trace {
         count: usize,
         rng: &mut SimRng,
     ) -> Self {
-        let sampler = ZipfMixedSampler::new(exponent);
-        let mut length_rng = rng.fork("zipf-lengths");
-        let mut arrival_rng = rng.fork("zipf-arrivals");
-        let times = arrivals.generate(count, &mut arrival_rng);
-        let mut ids = IdAllocator::<RequestId>::new();
-        let requests = times
-            .into_iter()
-            .map(|at| {
-                let s = sampler.sample(&mut length_rng);
-                Request::new(ids.next(), at, s.input_len, s.output_len)
-            })
-            .collect();
-        Trace {
-            label: format!(
-                "Mixed Zipf={exponent:.1} @ {:.3} req/s",
-                arrivals.mean_rate()
-            ),
-            requests,
-        }
+        TraceStream::zipf_mixed(exponent, arrivals, count, rng).collect_trace()
     }
 
     /// Generates a multi-turn conversation trace: `conversations`
@@ -122,60 +89,7 @@ impl Trace {
         conversations: usize,
         rng: &mut SimRng,
     ) -> Self {
-        profile.validate().expect("valid multi-turn profile");
-        let sampler = DatasetSampler::new(dataset);
-        let mut length_rng = rng.fork("mt-lengths");
-        let mut arrival_rng = rng.fork("mt-arrivals");
-        let mut rounds_rng = rng.fork("mt-rounds");
-        let mut think_rng = rng.fork("mt-think");
-        let starts = arrivals.generate(conversations, &mut arrival_rng);
-
-        // Materialise every conversation, then interleave by arrival.
-        let mut drafts: Vec<(f64, u64, u32, u64, u64)> = Vec::new();
-        for (c, start) in starts.into_iter().enumerate() {
-            let rounds = profile.sample_rounds(&mut rounds_rng);
-            let mut at = start.as_secs();
-            let mut context = 0u64; // full history (prompts + outputs) so far
-            for turn in 0..rounds {
-                let s = sampler.sample(&mut length_rng);
-                // The new prompt is the whole history plus the fresh user
-                // message; turn 0 has no history.
-                let input_len = context + s.input_len;
-                drafts.push((at, c as u64, turn, input_len, s.output_len));
-                context = input_len + s.output_len;
-                at += profile.sample_think_s(&mut think_rng);
-            }
-        }
-        // Arrival order, ties broken by (conversation, turn) so id
-        // assignment is deterministic.
-        drafts.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("arrival times are finite")
-                .then(a.1.cmp(&b.1))
-                .then(a.2.cmp(&b.2))
-        });
-        let mut ids = IdAllocator::<RequestId>::new();
-        let requests = drafts
-            .into_iter()
-            .map(|(at, conv, turn, input_len, output_len)| {
-                Request::new(
-                    ids.next(),
-                    SimTime::ZERO + SimDuration::from_secs(at),
-                    input_len,
-                    output_len,
-                )
-                .with_conversation(ConversationId(conv), turn)
-            })
-            .collect();
-        Trace {
-            label: format!(
-                "{} multi-turn ({} conv) @ {:.3} conv/s",
-                dataset.name(),
-                conversations,
-                arrivals.mean_rate()
-            ),
-            requests,
-        }
+        TraceStream::multi_turn(dataset, profile, arrivals, conversations, rng).collect_trace()
     }
 
     /// Generates a mixed traffic-class trace for overload studies: each of
@@ -200,90 +114,7 @@ impl Trace {
         profile: &MixedClassProfile,
         rng: &mut SimRng,
     ) -> Self {
-        profile.validate().expect("valid mixed-class profile");
-        let chat = DatasetSampler::new(DatasetKind::ShareGpt);
-        let long_doc = DatasetSampler::new(DatasetKind::LEval);
-        let mut class_rng = rng.fork("mix-class");
-        let mut length_rng = rng.fork("mix-lengths");
-        let mut arrival_rng = rng.fork("mix-arrivals");
-        let mut rounds_rng = rng.fork("mix-rounds");
-        let mut think_rng = rng.fork("mix-think");
-        let starts = arrivals.generate(count, &mut arrival_rng);
-
-        // Materialise every event (and any conversation it spawns), then
-        // interleave by arrival. `seq` makes the sort deterministic even
-        // when think times collide with fresh arrivals.
-        let mut drafts: Vec<(f64, u64, Request)> = Vec::new();
-        let mut seq = 0u64;
-        let mut next_conv = 0u64;
-        for start in starts {
-            let u = class_rng.uniform01();
-            if u < profile.long_doc_fraction {
-                let s = long_doc.sample(&mut length_rng);
-                drafts.push((
-                    start.as_secs(),
-                    seq,
-                    Request::new(RequestId(0), start, s.input_len, s.output_len)
-                        .with_class(TrafficClass::BestEffort),
-                ));
-                seq += 1;
-            } else if u < profile.long_doc_fraction + profile.multi_turn_fraction {
-                let conv = ConversationId(next_conv);
-                next_conv += 1;
-                let rounds = profile.multi_turn.sample_rounds(&mut rounds_rng);
-                let mut at = start.as_secs();
-                let mut context = 0u64;
-                for turn in 0..rounds {
-                    let s = chat.sample(&mut length_rng);
-                    let input_len = context + s.input_len;
-                    drafts.push((
-                        at,
-                        seq,
-                        Request::new(
-                            RequestId(0),
-                            SimTime::ZERO + SimDuration::from_secs(at),
-                            input_len,
-                            s.output_len,
-                        )
-                        .with_conversation(conv, turn)
-                        .with_class(TrafficClass::Standard),
-                    ));
-                    seq += 1;
-                    context = input_len + s.output_len;
-                    at += profile.multi_turn.sample_think_s(&mut think_rng);
-                }
-            } else {
-                let s = chat.sample(&mut length_rng);
-                drafts.push((
-                    start.as_secs(),
-                    seq,
-                    Request::new(RequestId(0), start, s.input_len, s.output_len),
-                ));
-                seq += 1;
-            }
-        }
-        drafts.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("arrival times are finite")
-                .then(a.1.cmp(&b.1))
-        });
-        let mut ids = IdAllocator::<RequestId>::new();
-        let requests = drafts
-            .into_iter()
-            .map(|(_, _, mut r)| {
-                r.id = ids.next();
-                r
-            })
-            .collect();
-        Trace {
-            label: format!(
-                "mixed-class ({:.0}% long-doc, {:.0}% multi-turn) @ {:.3} ev/s",
-                profile.long_doc_fraction * 100.0,
-                profile.multi_turn_fraction * 100.0,
-                arrivals.mean_rate()
-            ),
-            requests,
-        }
+        TraceStream::mixed_classes(arrivals, count, profile, rng).collect_trace()
     }
 
     /// Builds a trace directly from explicit requests (used by unit tests
@@ -399,6 +230,8 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::TrafficClass;
+    use loong_simcore::ids::RequestId;
     use loong_simcore::time::SimTime;
 
     #[test]

@@ -70,9 +70,9 @@ impl Row {
         )
     }
 
-    fn attainment_of(&self, trace: &Trace, slo: &SloSpec, class: TrafficClass) -> f64 {
+    fn attainment_of(&self, slo: &SloSpec, class: TrafficClass) -> f64 {
         self.outcome
-            .class_attainment(trace, slo)
+            .class_attainment(slo)
             .into_iter()
             .find(|(c, _)| *c == class)
             .map(|(_, a)| a)
@@ -172,9 +172,9 @@ fn main() {
             row.outcome.shed.len(),
             e.replica_seconds,
             row.goodput_per_rs(&slo),
-            row.attainment_of(&trace, &slo, TrafficClass::Interactive),
-            row.attainment_of(&trace, &slo, TrafficClass::Standard),
-            row.attainment_of(&trace, &slo, TrafficClass::BestEffort),
+            row.attainment_of(&slo, TrafficClass::Interactive),
+            row.attainment_of(&slo, TrafficClass::Standard),
+            row.attainment_of(&slo, TrafficClass::BestEffort),
             e.scale_up_events,
             e.scale_down_events
         );
@@ -201,8 +201,8 @@ fn main() {
     assert!(e.shed_total() > 0, "the flash must trigger shedding");
     assert!(e.shed_best_effort >= e.shed_interactive);
     assert!(
-        shedding.attainment_of(&trace, &slo, TrafficClass::Interactive)
-            > small.attainment_of(&trace, &slo, TrafficClass::Interactive)
+        shedding.attainment_of(&slo, TrafficClass::Interactive)
+            > small.attainment_of(&slo, TrafficClass::Interactive)
     );
 
     println!(
