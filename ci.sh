@@ -77,16 +77,25 @@ smoke_gate autoscale "^AUTOSCALE .*scale_ups=" BENCH_autoscale.json
 step "million-scale smoke + gate (20k-request streamed reliable run vs BENCH_million.json)"
 smoke_gate million_scale "^MILLION_SCALE streamed=20000 " BENCH_million.json
 
+step "observability smoke + gate (untraced vs 1%-sampled recorder vs BENCH_obs.json)"
+smoke_gate observability "^OBSERVABILITY sampled=" BENCH_obs.json
+
+step "trace-check the million-scale smoke's Perfetto export"
+cargo run -q --release --locked -p xtask -- trace-check target/million_scale.perfetto.json
+
 step "cargo build --examples --locked"
 cargo build --examples --locked
 
 step "run every example (small deterministic configs; a panicking example fails CI)"
 for example in quickstart compare_systems elastic_scaling_trace capacity_planning \
                fleet_routing memory_pressure multi_turn_cache failure_injection \
-               autoscale_overload; do
+               autoscale_overload trace_export; do
     echo "--- example: $example"
     LOONG_SMOKE=1 cargo run -q --release --locked --example "$example" > /dev/null
 done
+
+step "trace-check the trace_export example's Perfetto export"
+cargo run -q --release --locked -p xtask -- trace-check target/trace_export.perfetto.json
 
 step "cargo clippy --all-targets --locked -- -D warnings"
 cargo clippy --all-targets --locked -- -D warnings

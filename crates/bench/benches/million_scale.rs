@@ -8,7 +8,11 @@
 //! worker pool. A staggered periodic crash schedule touches every replica,
 //! so era boundaries keep flushing the frontend's routing buckets — the
 //! [`FleetFootprint`] ledger proves the frontend held O(active +
-//! pending-retries) requests, never the whole trace.
+//! pending-retries) requests, never the whole trace. The run is observed
+//! end to end by a 1%-sampling [`TraceRecorder`], whose own ledger proves
+//! the observability tier's O(sampled + bins + peak-open) residency bound
+//! at the same scale (and whose smoke-mode Perfetto export feeds the
+//! `xtask trace-check` CI step).
 //!
 //! Two kinds of numbers are printed:
 //!
@@ -82,6 +86,7 @@ struct Run {
     wall_s: f64,
     outcome: ReliableFleetOutcome,
     footprint: FleetFootprint,
+    recorder: Option<TraceRecorder>,
 }
 
 fn run_streamed(
@@ -90,6 +95,7 @@ fn run_streamed(
     replicas: usize,
     crash_period: f64,
     parallel: bool,
+    traced: bool,
 ) -> Run {
     // Arrivals end around count/rate; pad the crash horizon past the drain
     // tail so late eras keep flushing too.
@@ -112,7 +118,18 @@ fn run_streamed(
         &mut SimRng::seed(SEED),
     );
     let start = Instant::now();
-    let (outcome, footprint) = fleet.run_reliable_stream(stream, &rel);
+    let (outcome, footprint, recorder) = if traced {
+        // The default config: 1% deterministic span sampling, always-on
+        // per-replica timeseries. Tracing is bit-for-bit inert (pinned by
+        // tests/observability_properties.rs), so the gated metrics below
+        // are identical with or without the recorder.
+        let mut rec = TraceRecorder::new(TraceConfig::default());
+        let (outcome, footprint) = fleet.run_reliable_stream_traced(stream, &rel, &mut rec);
+        (outcome, footprint, Some(rec))
+    } else {
+        let (outcome, footprint) = fleet.run_reliable_stream(stream, &rel);
+        (outcome, footprint, None)
+    };
     let wall_s = start.elapsed().as_secs_f64();
     assert_eq!(
         outcome.total_requests(),
@@ -123,7 +140,38 @@ fn run_streamed(
         wall_s,
         outcome,
         footprint,
+        recorder,
     }
+}
+
+/// The recorder's residency proof at scale: memory is O(sampled + bins +
+/// peak-open), never O(trace). Asserted against the streamed count so a
+/// regression that starts retaining unsampled state fails loudly.
+fn assert_recorder_bounded(recorder: &TraceRecorder, streamed: usize) {
+    let ledger = recorder.ledger();
+    assert_eq!(ledger.open_requests, 0, "finalize must close every span");
+    assert_eq!(
+        ledger.spans_dropped, 0,
+        "the default span cap must clear the 1M regime"
+    );
+    let sampled_share = ledger.sampled_requests as f64 / streamed.max(1) as f64;
+    assert!(
+        (0.005..=0.02).contains(&sampled_share),
+        "1% sampling drifted: {} of {streamed} sampled",
+        ledger.sampled_requests
+    );
+    assert!(
+        ledger.spans_recorded <= 64 * ledger.sampled_requests,
+        "spans must stay proportional to the sampled set ({} spans, {} sampled)",
+        ledger.spans_recorded,
+        ledger.sampled_requests
+    );
+    assert!(
+        (ledger.peak_open_requests as usize) < streamed / 20,
+        "open-request state must track the active window, not the trace \
+         (peak {} vs {streamed} streamed)",
+        ledger.peak_open_requests
+    );
 }
 
 fn main() {
@@ -146,7 +194,7 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     ));
 
-    let run = run_streamed(count, rate, replicas, crash_period, true);
+    let run = run_streamed(count, rate, replicas, crash_period, true, true);
     let crashes = run.outcome.reliability.crashes;
     let makespan_s = run.outcome.fleet.sim_time.as_secs();
     let completed = run.outcome.fleet.records.len();
@@ -185,6 +233,22 @@ fn main() {
         }
     );
 
+    // The whole run was observed by a 1%-sampling recorder; prove its
+    // residency bound and surface the ledger next to the footprint.
+    let recorder = run.recorder.as_ref().expect("the main run is traced");
+    assert_recorder_bounded(recorder, run.footprint.streamed_requests);
+    let ledger = recorder.ledger();
+    println!(
+        "trace ledger: {} sampled of {} seen, {} spans, {} instants, \
+         {} series bins, peak {} open",
+        ledger.sampled_requests,
+        ledger.requests_seen,
+        ledger.spans_recorded,
+        ledger.instants_recorded,
+        ledger.series_bins,
+        ledger.peak_open_requests
+    );
+
     // The line CI greps for in the million-scale smoke step.
     println!(
         "MILLION_SCALE streamed={} peak_resident={} failed_terminal={}",
@@ -199,10 +263,19 @@ fn main() {
             run.footprint.streamed_requests, completed, failed, crashes, makespan_s,
             run.footprint.peak_resident_requests
         );
+        // Export the sampled spans for `xtask trace-check` (the ci.sh
+        // step that cross-validates the document against this ledger).
+        // Anchored to the workspace root: cargo bench runs with the
+        // package directory as CWD.
+        let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
+        std::fs::create_dir_all(&out_dir).expect("create target/");
+        let path = out_dir.join("million_scale.perfetto.json");
+        std::fs::write(&path, perfetto_json(recorder)).expect("write perfetto json");
+        println!("wrote {}", path.display());
     }
 
     if compare_serial {
-        let serial = run_streamed(count, rate, replicas, crash_period, false);
+        let serial = run_streamed(count, rate, replicas, crash_period, false, false);
         assert_eq!(serial.outcome.fleet.records.len(), completed);
         assert_eq!(serial.outcome.failed.len(), failed);
         println!(

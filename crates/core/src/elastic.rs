@@ -53,7 +53,9 @@
 //! nothing between ledgers — drained work completes; only a crash can.
 
 use crate::engine::RunOutcome;
-use crate::fleet::{FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome};
+use crate::fleet::{
+    run_segment_traced, trace_seed, FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome,
+};
 use crate::reliability::{merge_segments, FailedRequest};
 use loong_metrics::cache::CacheStats;
 use loong_metrics::elasticity::ElasticityStats;
@@ -71,6 +73,7 @@ use loong_sched::router::{FleetLoadTracker, RouteRequest};
 use loong_simcore::ids::{ReplicaId, RequestId};
 use loong_simcore::pool::run_indexed;
 use loong_simcore::time::{SimDuration, SimTime};
+use loong_trace::TraceRecorder;
 use loong_workload::failure::FailureSchedule;
 use loong_workload::request::{Request, TrafficClass};
 use loong_workload::stream::TraceStream;
@@ -406,6 +409,7 @@ impl ElasticRun<'_> {
         resolved: &BTreeSet<RequestId>,
         replica: ReplicaId,
         at: SimTime,
+        mut rec: Option<&mut TraceRecorder>,
     ) {
         let mut casualties: Vec<&Request> = bucket
             .iter()
@@ -415,6 +419,9 @@ impl ElasticRun<'_> {
         for req in casualties {
             self.stats.failed_attempts += 1;
             self.casualty_ids.insert(req.id);
+            if let Some(r) = rec.as_deref_mut() {
+                r.casualty(at, req.id);
+            }
             let used = self.retries_used.get(&req.id).copied().unwrap_or(0);
             if self.cfg.retry.allows(used) {
                 let attempt = used + 1;
@@ -423,20 +430,27 @@ impl ElasticRun<'_> {
                 retry.arrival = at + self.cfg.retry.backoff(attempt);
                 self.stats.retries_scheduled += 1;
                 self.stats.re_prefilled_tokens += retry.input_len;
+                if let Some(r) = rec.as_deref_mut() {
+                    r.retry_scheduled(at, req.id, attempt, retry.arrival);
+                }
                 self.pending
                     .insert((retry.arrival, retry.id), (retry, attempt));
                 self.grow_resident();
             } else {
                 self.stats.retries_exhausted += 1;
+                let reason = format!(
+                    "{replica} crashed at {at} with no retry budget left \
+                     ({used} of {} used)",
+                    self.cfg.retry.max_retries
+                );
+                if let Some(r) = rec.as_deref_mut() {
+                    r.request_failed(at, req.id, &reason);
+                }
                 self.failed.push(FailedRequest {
                     id: req.id,
                     at,
                     replica,
-                    reason: format!(
-                        "{replica} crashed at {at} with no retry budget left \
-                         ({used} of {} used)",
-                        self.cfg.retry.max_retries
-                    ),
+                    reason,
                 });
             }
         }
@@ -455,8 +469,30 @@ impl FleetEngine {
     /// configuration is invalid, or the failure schedule strikes a replica
     /// outside the fleet.
     pub fn run_elastic(&mut self, trace: &Trace, cfg: &ElasticConfig) -> ElasticFleetOutcome {
-        self.run_elastic_source(&trace.label, trace.requests.iter().cloned(), cfg)
+        self.run_elastic_source(&trace.label, trace.requests.iter().cloned(), cfg, None)
             .0
+    }
+
+    /// Runs the elastic fleet with the whole run observed by `recorder`:
+    /// request lifecycle spans across scale events, crash casualties and
+    /// retries; scale-up/scale-down/shed instants; and per-replica
+    /// timeseries. Identical decision-for-decision to
+    /// [`FleetEngine::run_elastic`] — observation probes stay untraced, so
+    /// the recorder sees each decision-bearing segment exactly once.
+    pub fn run_elastic_traced(
+        &mut self,
+        trace: &Trace,
+        cfg: &ElasticConfig,
+        recorder: &mut TraceRecorder,
+    ) -> ElasticFleetOutcome {
+        let (outcome, _) = self.run_elastic_source(
+            &trace.label,
+            trace.requests.iter().cloned(),
+            cfg,
+            Some(recorder),
+        );
+        recorder.finalize(outcome.fleet.sim_time);
+        outcome
     }
 
     /// Runs the elastic fleet over a lazy request stream. Identical
@@ -470,7 +506,21 @@ impl FleetEngine {
         cfg: &ElasticConfig,
     ) -> (ElasticFleetOutcome, FleetFootprint) {
         let label = stream.label().to_string();
-        self.run_elastic_source(&label, stream, cfg)
+        self.run_elastic_source(&label, stream, cfg, None)
+    }
+
+    /// Streamed elastic run observed by `recorder` — the streamed
+    /// counterpart of [`FleetEngine::run_elastic_traced`].
+    pub fn run_elastic_stream_traced(
+        &mut self,
+        stream: TraceStream,
+        cfg: &ElasticConfig,
+        recorder: &mut TraceRecorder,
+    ) -> (ElasticFleetOutcome, FleetFootprint) {
+        let label = stream.label().to_string();
+        let (outcome, footprint) = self.run_elastic_source(&label, stream, cfg, Some(recorder));
+        recorder.finalize(outcome.fleet.sim_time);
+        (outcome, footprint)
     }
 
     /// The shared implementation of the materialised and streamed elastic
@@ -480,6 +530,7 @@ impl FleetEngine {
         label: &str,
         source: I,
         cfg: &ElasticConfig,
+        mut recorder: Option<&mut TraceRecorder>,
     ) -> (ElasticFleetOutcome, FleetFootprint) {
         let mut source = source.peekable();
         let n = self.config.replicas;
@@ -571,15 +622,15 @@ impl FleetEngine {
                 (None, Some(t)) => t,
                 (Some(c), Some(t)) => c.min(t),
             };
-            self.elastic_era(&mut source, Some(b), &mut st);
+            self.elastic_era(&mut source, Some(b), &mut st, recorder.as_deref_mut());
             // At a shared instant crashes resolve first: the control
             // observation then sees the post-crash fleet.
             if next_crash == Some(b) {
-                self.crash_boundary(label, b, &mut st);
+                self.crash_boundary(label, b, &mut st, recorder.as_deref_mut());
                 ci += 1;
             }
             if next_control == Some(b) {
-                self.control_boundary(label, b, &mut autoscaler, &mut st);
+                self.control_boundary(label, b, &mut autoscaler, &mut st, recorder.as_deref_mut());
                 k += 1;
             }
         }
@@ -587,7 +638,7 @@ impl FleetEngine {
         // Final era and final (uncapped) segment of every replica; retired
         // and cold replicas run empty buckets, keeping the merge shape
         // identical to the reliability tier.
-        self.elastic_era(&mut source, None, &mut st);
+        self.elastic_era(&mut source, None, &mut st, recorder.as_deref_mut());
         let system = self.config.replica_system();
         let finals: Vec<Trace> = (0..n)
             .map(|r| {
@@ -596,13 +647,19 @@ impl FleetEngine {
                 Trace::from_requests(format!("{label} · replica {r}/{n}"), bucket)
             })
             .collect();
-        let run_final = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
-        let final_outcomes: Vec<RunOutcome> = if self.config.parallel {
+        let seed = trace_seed(&recorder);
+        let run_final = |sub: &Trace| run_segment_traced(&system, sub, &seed);
+        let final_results: Vec<(RunOutcome, Option<TraceRecorder>)> = if self.config.parallel {
             run_indexed(finals.len(), |r| run_final(&finals[r]))
         } else {
             finals.iter().map(run_final).collect()
         };
-        for (segment, outcome) in st.segments.iter_mut().zip(final_outcomes) {
+        for (r, (segment, (outcome, child))) in
+            st.segments.iter_mut().zip(final_results).enumerate()
+        {
+            if let (Some(rec), Some(child)) = (recorder.as_deref_mut(), child) {
+                rec.merge_child(ReplicaId::from(r), child);
+            }
             segment.push(outcome);
         }
 
@@ -699,6 +756,7 @@ impl FleetEngine {
         source: &mut std::iter::Peekable<I>,
         end: Option<SimTime>,
         st: &mut ElasticRun<'_>,
+        mut rec: Option<&mut TraceRecorder>,
     ) {
         let in_era = |t: SimTime| end.is_none_or(|e| t < e);
         loop {
@@ -725,6 +783,9 @@ impl FleetEngine {
                     let req = source.next().expect("peeked above");
                     st.streamed += 1;
                     if let Some(AdmissionDecision::Shed(reason)) = st.admission_decision(&req) {
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.shed(req.arrival, req.id, req.class, &format!("{reason:?}"));
+                        }
                         st.record_shed(&req, reason);
                         continue;
                     }
@@ -799,8 +860,20 @@ impl FleetEngine {
     /// Resolves every crash striking at `b`: the crashed replica runs its
     /// segment capped at `b` and its unresolved requests become casualties
     /// — identical to the reliability tier.
-    fn crash_boundary(&mut self, label: &str, b: SimTime, st: &mut ElasticRun<'_>) {
+    fn crash_boundary(
+        &mut self,
+        label: &str,
+        b: SimTime,
+        st: &mut ElasticRun<'_>,
+        mut rec: Option<&mut TraceRecorder>,
+    ) {
         let n = st.n;
+        if let Some(r) = rec.as_deref_mut() {
+            for event in st.cfg.schedule.events().iter().filter(|e| e.crash == b) {
+                r.crash(b, event.replica);
+                r.recover(event.recover, event.replica);
+            }
+        }
         // The capped engine runs are pure, so they go to the worker pool;
         // casualty settlement replays serially in replica-id order (events
         // are sorted by (crash, replica)). The sub-trace holds the routed
@@ -830,20 +903,24 @@ impl FleetEngine {
             .config
             .replica_system()
             .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
-        let run_segment = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
-        let outcomes: Vec<RunOutcome> = if self.config.parallel {
+        let seed = trace_seed(&rec);
+        let run_segment = |sub: &Trace| run_segment_traced(&system, sub, &seed);
+        let results: Vec<(RunOutcome, Option<TraceRecorder>)> = if self.config.parallel {
             run_indexed(crashing.len(), |i| run_segment(&crashing[i].1))
         } else {
             crashing.iter().map(|(_, sub)| run_segment(sub)).collect()
         };
-        for ((replica, sub), outcome) in crashing.into_iter().zip(outcomes) {
+        for ((replica, sub), (outcome, child)) in crashing.into_iter().zip(results) {
+            if let (Some(r), Some(child)) = (rec.as_deref_mut(), child) {
+                r.merge_child(replica, child);
+            }
             let resolved: BTreeSet<RequestId> = outcome
                 .records
                 .iter()
                 .map(|r| r.id)
                 .chain(outcome.rejected.iter().map(|r| r.0))
                 .collect();
-            st.settle_casualties(&sub.requests, &resolved, replica, b);
+            st.settle_casualties(&sub.requests, &resolved, replica, b, rec.as_deref_mut());
             st.segments[replica.index()].push(outcome);
         }
     }
@@ -856,14 +933,18 @@ impl FleetEngine {
         b: SimTime,
         autoscaler: &mut Autoscaler,
         st: &mut ElasticRun<'_>,
+        rec: Option<&mut TraceRecorder>,
     ) {
+        // Observation probes are replayed and discarded — they never reach
+        // the recorder, so a traced run sees each decision-bearing segment
+        // exactly once.
         let (signals, backlogs) = self.observe(label, b, st);
         st.last_observed_backlog = signals.backlog_tokens;
         st.routed_since_observation = 0;
         match autoscaler.decide(b.as_secs(), &signals) {
             ScaleDecision::Hold => {}
-            ScaleDecision::Up(count) => self.scale_up(b, count, st),
-            ScaleDecision::Down(count) => self.scale_down(label, b, count, &backlogs, st),
+            ScaleDecision::Up(count) => self.scale_up(b, count, st, rec),
+            ScaleDecision::Down(count) => self.scale_down(label, b, count, &backlogs, st, rec),
         }
         let active = st.active_count() as u64;
         st.elastic.min_active_replicas = st.elastic.min_active_replicas.min(active);
@@ -956,7 +1037,13 @@ impl FleetEngine {
     /// Each becomes routable after the provisioning delay, with an empty
     /// KV pool and a cold prefix cache (its engine is built fresh for the
     /// next segment, so this falls out of the execution model).
-    fn scale_up(&mut self, b: SimTime, want: usize, st: &mut ElasticRun<'_>) {
+    fn scale_up(
+        &mut self,
+        b: SimTime,
+        want: usize,
+        st: &mut ElasticRun<'_>,
+        mut rec: Option<&mut TraceRecorder>,
+    ) {
         let ready_at = b + SimDuration::from_secs(st.cfg.autoscaler.provisioning_delay_s);
         let mut activated = 0usize;
         for r in 0..st.n {
@@ -967,6 +1054,9 @@ impl FleetEngine {
                 st.life[r] = Life::Active { since: ready_at };
                 st.elastic.provisioning_s += st.cfg.autoscaler.provisioning_delay_s;
                 activated += 1;
+                if let Some(recorder) = rec.as_deref_mut() {
+                    recorder.replica_activated(b, ReplicaId::from(r), ready_at);
+                }
                 let active_after = st.active_count();
                 st.scale_events.push(FleetScaleEvent {
                     at: b,
@@ -990,6 +1080,7 @@ impl FleetEngine {
     /// when its last request completes — unless a scheduled crash strikes
     /// it mid-drain, in which case it retires at the crash and the
     /// remainder becomes crash casualties.
+    #[allow(clippy::too_many_arguments)]
     fn scale_down(
         &mut self,
         label: &str,
@@ -997,6 +1088,7 @@ impl FleetEngine {
         want: usize,
         backlogs: &[u64],
         st: &mut ElasticRun<'_>,
+        mut rec: Option<&mut TraceRecorder>,
     ) {
         let mut ready: Vec<(u64, usize)> = (0..st.n)
             .filter(|&r| matches!(st.life[r], Life::Active { since } if since <= b))
@@ -1026,11 +1118,9 @@ impl FleetEngine {
                     format!("{label} · replica {replica}/{} ∣ drain at {b}", st.n),
                     bucket,
                 );
-                let outcome = self
-                    .config
-                    .replica_system()
-                    .build_engine(Some(&sub))
-                    .run(&sub);
+                let seed = trace_seed(&rec);
+                let system = self.config.replica_system();
+                let (outcome, tap) = run_segment_traced(&system, &sub, &seed);
                 let finish = outcome.sim_time;
                 let mid_crash = st
                     .cfg
@@ -1042,29 +1132,40 @@ impl FleetEngine {
                     .min();
                 if let Some(c) = mid_crash {
                     // The crash interrupts the drain: re-run capped at the
-                    // crash; the rest are casualties. The crash boundary
-                    // itself finds an empty bucket later and skips.
-                    let capped = self
+                    // crash; the rest are casualties. The uncapped run (and
+                    // its recording tap) is discarded — only the capped
+                    // segment really happened. The crash boundary itself
+                    // finds an empty bucket later and skips.
+                    drop(tap);
+                    let capped_system = self
                         .config
                         .replica_system()
-                        .with_max_sim_time(SimDuration::from_secs(c.as_secs()))
-                        .build_engine(Some(&sub))
-                        .run(&sub);
+                        .with_max_sim_time(SimDuration::from_secs(c.as_secs()));
+                    let (capped, capped_tap) = run_segment_traced(&capped_system, &sub, &seed);
+                    if let (Some(recorder), Some(child)) = (rec.as_deref_mut(), capped_tap) {
+                        recorder.merge_child(replica, child);
+                    }
                     let resolved: BTreeSet<RequestId> = capped
                         .records
                         .iter()
-                        .map(|rec| rec.id)
+                        .map(|record| record.id)
                         .chain(capped.rejected.iter().map(|rej| rej.0))
                         .collect();
-                    st.settle_casualties(&sub.requests, &resolved, replica, c);
+                    st.settle_casualties(&sub.requests, &resolved, replica, c, rec.as_deref_mut());
                     st.segments[r].push(capped);
                     drain_end = c;
                 } else {
+                    if let (Some(recorder), Some(child)) = (rec.as_deref_mut(), tap) {
+                        recorder.merge_child(replica, child);
+                    }
                     st.segments[r].push(outcome);
                     drain_end = finish.max(b);
                 }
             }
             let drain_s = drain_end.saturating_since(b).as_secs();
+            if let Some(recorder) = rec.as_deref_mut() {
+                recorder.replica_retired(drain_end, replica);
+            }
             st.life[r] = Life::Retired { at: drain_end };
             st.active_spans_s[r] += drain_end.saturating_since(since).as_secs();
             st.elastic.drains_completed += 1;

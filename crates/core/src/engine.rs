@@ -33,9 +33,11 @@ use loong_sched::types::{
 };
 use loong_simcore::events::{Event, EventQueue};
 use loong_simcore::ids::{GroupId, IdAllocator, InstanceId, RequestId};
+use loong_simcore::profile;
 use loong_simcore::rng::SimRng;
 use loong_simcore::table::{PhaseClass, RequestTable};
 use loong_simcore::time::{SimDuration, SimTime};
+use loong_trace::{AdmitInfo, Gauges, NoopSink, SpanPhase, Terminal, TraceSink};
 use loong_workload::request::Request;
 use loong_workload::trace::Trace;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -265,7 +267,50 @@ fn pending_entry(s: &RequestState, prefilled: u64, pool: &UnifiedKvPool) -> Pend
 /// are the *only* source of the scheduler view's pending/decoding lists, so
 /// a direct `phase =` write that skipped the class update would silently
 /// desynchronise them (the debug-build view audit would catch it).
-fn set_phase(table: &mut RequestTable<RequestState>, id: RequestId, phase: Phase) {
+///
+/// It is also the tracing chokepoint: each write emits the matching
+/// lifecycle event into the [`TraceSink`] *after* the decision is already
+/// made, so sinks observe every transition but can influence none. Engine
+/// phases map onto trace spans many-to-one — the per-iteration
+/// `DecodeReady`/`Decoding` cycle all maps to [`SpanPhase::Decode`] — and
+/// the emission is elided here whenever the span phase does not change:
+/// recorders would coalesce the repeat anyway, and the decode loop cycles
+/// phases every iteration, so skipping the no-op emission keeps the
+/// tracing overhead proportional to *span* transitions, not engine
+/// iterations. Terminal phases become [`Terminal`] events rather than
+/// spans and are always emitted.
+fn set_phase(
+    table: &mut RequestTable<RequestState>,
+    id: RequestId,
+    phase: Phase,
+    now: SimTime,
+    sink: &mut dyn TraceSink,
+) {
+    /// The span a non-terminal engine phase belongs to.
+    fn span_of(phase: &Phase) -> Option<SpanPhase> {
+        match phase {
+            Phase::Pending { .. } => Some(SpanPhase::Queued),
+            Phase::Prefilling => Some(SpanPhase::Prefill),
+            Phase::DecodeReady { .. } | Phase::Decoding { .. } => Some(SpanPhase::Decode),
+            Phase::Migrating { .. } => Some(SpanPhase::Migrate),
+            Phase::SwappingOut { .. } => Some(SpanPhase::SwapOut),
+            Phase::Swapped { .. } => Some(SpanPhase::SwappedOut),
+            Phase::SwappingIn { .. } => Some(SpanPhase::SwapIn),
+            Phase::Finished | Phase::Rejected => None,
+        }
+    }
+
+    match &phase {
+        Phase::Finished => sink.on_terminal(now, id, Terminal::Completed),
+        Phase::Rejected => sink.on_terminal(now, id, Terminal::Rejected),
+        other => {
+            let span = span_of(other).expect("non-terminal phase has a span");
+            let prev = table.get(id).and_then(|s| span_of(&s.phase));
+            if prev != Some(span) {
+                sink.on_phase(now, id, span);
+            }
+        }
+    }
     let class = phase.class();
     let state = table.get_mut(id).expect("known request");
     state.phase = phase;
@@ -474,13 +519,23 @@ impl ServingEngine {
 
     /// Runs the engine over a trace and returns the outcome.
     ///
+    /// Equivalent to [`ServingEngine::run_traced`] with a [`NoopSink`]
+    /// (and bit-for-bit identical to it with *any* sink — sinks observe,
+    /// they cannot steer).
+    pub fn run(&mut self, trace: &Trace) -> RunOutcome {
+        self.run_traced(trace, &mut NoopSink)
+    }
+
+    /// Runs the engine over a trace, emitting every request lifecycle
+    /// edge, cache event and scheduling-point gauge into `sink`.
+    ///
     /// The loop maintains every scheduler-view input incrementally — phase
     /// index sets in the [`RequestTable`], the idle/busy instance
     /// partition, the KV residency index, running latency stats — so one
     /// scheduling point costs O(active requests + actions) instead of
     /// O(all requests ever seen). Debug builds shadow every view with a
     /// naive full-scan rebuild and assert equality.
-    pub fn run(&mut self, trace: &Trace) -> RunOutcome {
+    pub fn run_traced(&mut self, trace: &Trace, sink: &mut dyn TraceSink) -> RunOutcome {
         let capacity = self
             .config
             .kv_capacity_override
@@ -540,6 +595,8 @@ impl ServingEngine {
 
         while !queue.is_empty() {
             queue.pop_simultaneous_into(&mut batch);
+            profile::add_events_popped(batch.len() as u64);
+            profile::add_sched_points(1);
             let now = queue.now();
             if let Some(deadline) = deadline {
                 if now > deadline {
@@ -553,6 +610,19 @@ impl ServingEngine {
                     // that orders every phase-index iteration.
                     EngineEvent::Arrival(id) => {
                         table.admit(id);
+                        {
+                            let s = table.get(id).expect("known request");
+                            sink.on_admitted(
+                                now,
+                                AdmitInfo {
+                                    id,
+                                    class: s.request.class,
+                                    conversation: s.request.conversation,
+                                    input_len: s.request.input_len,
+                                    output_len: s.request.output_len,
+                                },
+                            );
+                        }
                         if cache_on {
                             let s = table.get_mut(id).expect("known request");
                             if let Some(conversation) = s.request.conversation {
@@ -575,6 +645,7 @@ impl ServingEngine {
                             &mut instances_state,
                             &mut decode_stats,
                             &mut cache_stats,
+                            sink,
                         );
                     }
                 }
@@ -604,6 +675,9 @@ impl ServingEngine {
                 let (entries, tokens) = pool.prefix_evict_point(head);
                 cache_stats.evicted_entries += entries;
                 cache_stats.evicted_tokens += tokens;
+                if entries > 0 {
+                    sink.on_cache_evict(now, entries, tokens);
+                }
             }
 
             // Scheduling point: assemble the view from the maintained
@@ -649,6 +723,14 @@ impl ServingEngine {
             }
             instances_state.fill_view(&mut scratch);
             let avg_decode_latency_s = decode_stats.average();
+            sink.on_gauges(
+                now,
+                Gauges {
+                    queue_depth: scratch.pending.len() as u64,
+                    batch_size: scratch.decoding.len() as u64,
+                    kv_utilization: pool.active_utilization(),
+                },
+            );
 
             #[cfg(debug_assertions)]
             audit.check(
@@ -688,7 +770,7 @@ impl ServingEngine {
                                     table.get_mut(request).expect("known request").waiting = false;
                                     pool.prefix_waiter_drop(conversation);
                                 }
-                                set_phase(&mut table, request, Phase::Rejected);
+                                set_phase(&mut table, request, Phase::Rejected, now, sink);
                                 rejected.push((request, reason));
                             }
                         }
@@ -736,6 +818,7 @@ impl ServingEngine {
                                     cache_stats.hits += 1;
                                     cache_stats.reused_tokens += tokens;
                                     adopted.push((prompt - tokens, tokens));
+                                    sink.on_cache_adopt(now, id, tokens);
                                 }
                             }
                             let s = table.get(id).expect("known request");
@@ -755,6 +838,9 @@ impl ServingEngine {
                             let (e, t) = pool.prefix_evict_for_instances(&retain_on, needed);
                             cache_stats.evicted_entries += e;
                             cache_stats.evicted_tokens += t;
+                            if e > 0 {
+                                sink.on_cache_evict(now, e, t);
+                            }
                         }
                         // Suffix prefills still attend over their adopted
                         // context: charge the extra attention the plain
@@ -805,7 +891,7 @@ impl ServingEngine {
                         }
                         for &id in &requests {
                             if table.contains(id) {
-                                set_phase(&mut table, id, Phase::Prefilling);
+                                set_phase(&mut table, id, Phase::Prefilling, now, sink);
                                 table
                                     .get_mut(id)
                                     .expect("known request")
@@ -867,6 +953,9 @@ impl ServingEngine {
                                 .prefix_evict_for_instances(evict_on, decode_batch.len() as u64);
                             cache_stats.evicted_entries += e;
                             cache_stats.evicted_tokens += t;
+                            if e > 0 {
+                                sink.on_cache_evict(now, e, t);
+                            }
                         }
                         let group =
                             EspGroup::with_masters(group_ids.next(), instances.clone(), masters);
@@ -896,7 +985,7 @@ impl ServingEngine {
                                 table.get(id).map(|s| &s.phase)
                             {
                                 let generated = *generated;
-                                set_phase(&mut table, id, Phase::Decoding { generated });
+                                set_phase(&mut table, id, Phase::Decoding { generated }, now, sink);
                             }
                         }
                         let wid = work_ids.next().raw();
@@ -945,6 +1034,7 @@ impl ServingEngine {
                                 s.reused = tokens;
                                 cache_stats.hits += 1;
                                 cache_stats.reused_tokens += tokens;
+                                sink.on_cache_adopt(now, prefill_request, tokens);
                                 let parallel =
                                     ParallelConfig::new(self.registry.tp(), instances.len());
                                 let link = self.registry.link_between(&instances);
@@ -965,6 +1055,9 @@ impl ServingEngine {
                             let (e, t) = pool.prefix_evict_for_instances(&instances, needed);
                             cache_stats.evicted_entries += e;
                             cache_stats.evicted_tokens += t;
+                            if e > 0 {
+                                sink.on_cache_evict(now, e, t);
+                            }
                         }
                         // Reserve KV for the chunk on the executing instances.
                         let Some(placement) = pool.plan(
@@ -1024,14 +1117,14 @@ impl ServingEngine {
                                 .expect("known request")
                                 .prefill_start
                                 .get_or_insert(now);
-                            set_phase(&mut table, prefill_request, Phase::Prefilling);
+                            set_phase(&mut table, prefill_request, Phase::Prefilling, now, sink);
                         }
                         for &id in &decode_ok {
                             if let Some(Phase::DecodeReady { generated }) =
                                 table.get(id).map(|s| &s.phase)
                             {
                                 let generated = *generated;
-                                set_phase(&mut table, id, Phase::Decoding { generated });
+                                set_phase(&mut table, id, Phase::Decoding { generated }, now, sink);
                             }
                         }
                         let wid = work_ids.next().raw();
@@ -1059,6 +1152,9 @@ impl ServingEngine {
                                 pool.prefix_evict_for_instances(&targets, pool.tokens_of(request));
                             cache_stats.evicted_entries += e;
                             cache_stats.evicted_tokens += t;
+                            if e > 0 {
+                                sink.on_cache_evict(now, e, t);
+                            }
                         }
                         match migrate_request(
                             request,
@@ -1069,7 +1165,13 @@ impl ServingEngine {
                         ) {
                             Ok(summary) => {
                                 migration_bytes += summary.total_bytes;
-                                set_phase(&mut table, request, Phase::Migrating { generated });
+                                set_phase(
+                                    &mut table,
+                                    request,
+                                    Phase::Migrating { generated },
+                                    now,
+                                    sink,
+                                );
                                 table.get_mut(request).expect("known request").preemptions += 1;
                                 let done = now + SimDuration::from_secs(summary.time_s.max(1e-6));
                                 let wid = work_ids.next().raw();
@@ -1094,7 +1196,14 @@ impl ServingEngine {
                         // place, so each output token is generated exactly
                         // once (vLLM's recompute semantics).
                         pool.release(request);
-                        set_phase(&mut table, request, Phase::Pending { prefilled: 0 });
+                        sink.on_preempted(now, request);
+                        set_phase(
+                            &mut table,
+                            request,
+                            Phase::Pending { prefilled: 0 },
+                            now,
+                            sink,
+                        );
                         let state = table.get_mut(request).expect("known request");
                         state.resume_generated = generated;
                         // Any adopted prefix KV was just discarded with the
@@ -1130,7 +1239,13 @@ impl ServingEngine {
                         // D2H transfer before it is parked.
                         let bytes = tokens as f64 * kv_bytes_per_token;
                         let transfer_s = link.transfer_time(bytes).max(1e-6);
-                        set_phase(&mut table, request, Phase::SwappingOut { generated });
+                        set_phase(
+                            &mut table,
+                            request,
+                            Phase::SwappingOut { generated },
+                            now,
+                            sink,
+                        );
                         pressure_stats.swap_out_events += 1;
                         pressure_stats.swap_out_bytes += bytes;
                         pressure_stats.swap_stall_s += transfer_s;
@@ -1160,6 +1275,9 @@ impl ServingEngine {
                             );
                             cache_stats.evicted_entries += e;
                             cache_stats.evicted_tokens += t;
+                            if e > 0 {
+                                sink.on_cache_evict(now, e, t);
+                            }
                         }
                         let tokens = match pool.swap_in(
                             request,
@@ -1174,7 +1292,13 @@ impl ServingEngine {
                         // resumes decoding when it completes.
                         let bytes = tokens as f64 * kv_bytes_per_token;
                         let transfer_s = link.transfer_time(bytes).max(1e-6);
-                        set_phase(&mut table, request, Phase::SwappingIn { generated });
+                        set_phase(
+                            &mut table,
+                            request,
+                            Phase::SwappingIn { generated },
+                            now,
+                            sink,
+                        );
                         pressure_stats.swap_in_events += 1;
                         pressure_stats.swap_in_bytes += bytes;
                         pressure_stats.swap_stall_s += transfer_s;
@@ -1239,6 +1363,7 @@ impl ServingEngine {
         instances_state: &mut InstanceTracker,
         decode_stats: &mut DecodeLatencyStats,
         cache_stats: &mut CacheStats,
+        sink: &mut dyn TraceSink,
     ) {
         match work {
             Work::Prefill {
@@ -1256,9 +1381,9 @@ impl ServingEngine {
                     // checkpoint so decoding resumes there.
                     let generated = s.resume_generated.max(1);
                     if s.request.output_len <= generated {
-                        Self::finish_request(table, id, now, pool, decode_stats, cache_stats);
+                        Self::finish_request(table, id, now, pool, decode_stats, cache_stats, sink);
                     } else {
-                        set_phase(table, id, Phase::DecodeReady { generated });
+                        set_phase(table, id, Phase::DecodeReady { generated }, now, sink);
                     }
                 }
             }
@@ -1270,7 +1395,7 @@ impl ServingEngine {
                     instances_state.complete(inst);
                 }
                 for id in requests {
-                    Self::advance_decode(table, id, now, pool, decode_stats, cache_stats);
+                    Self::advance_decode(table, id, now, pool, decode_stats, cache_stats, sink);
                 }
             }
             Work::ChunkedPrefill {
@@ -1299,21 +1424,34 @@ impl ServingEngine {
                             pool,
                             decode_stats,
                             cache_stats,
+                            sink,
                         );
                     } else {
-                        set_phase(table, prefill_request, Phase::DecodeReady { generated });
+                        set_phase(
+                            table,
+                            prefill_request,
+                            Phase::DecodeReady { generated },
+                            now,
+                            sink,
+                        );
                     }
                 } else {
-                    set_phase(table, prefill_request, Phase::Pending { prefilled });
+                    set_phase(
+                        table,
+                        prefill_request,
+                        Phase::Pending { prefilled },
+                        now,
+                        sink,
+                    );
                 }
                 for id in decode_requests {
-                    Self::advance_decode(table, id, now, pool, decode_stats, cache_stats);
+                    Self::advance_decode(table, id, now, pool, decode_stats, cache_stats, sink);
                 }
             }
             Work::Migration { request } => {
                 if let Some(Phase::Migrating { generated }) = table.get(request).map(|s| &s.phase) {
                     let generated = *generated;
-                    set_phase(table, request, Phase::DecodeReady { generated });
+                    set_phase(table, request, Phase::DecodeReady { generated }, now, sink);
                 }
             }
             // The phase was reset at action time; the event only forced a
@@ -1323,14 +1461,14 @@ impl ServingEngine {
                 if let Some(Phase::SwappingOut { generated }) = table.get(request).map(|s| &s.phase)
                 {
                     let generated = *generated;
-                    set_phase(table, request, Phase::Swapped { generated });
+                    set_phase(table, request, Phase::Swapped { generated }, now, sink);
                 }
             }
             Work::SwapIn { request } => {
                 if let Some(Phase::SwappingIn { generated }) = table.get(request).map(|s| &s.phase)
                 {
                     let generated = *generated;
-                    set_phase(table, request, Phase::DecodeReady { generated });
+                    set_phase(table, request, Phase::DecodeReady { generated }, now, sink);
                 }
             }
         }
@@ -1338,6 +1476,7 @@ impl ServingEngine {
 
     /// One decode iteration completed for `id`: emit a token, finishing the
     /// request if that was the last one.
+    #[allow(clippy::too_many_arguments)]
     fn advance_decode(
         table: &mut RequestTable<RequestState>,
         id: RequestId,
@@ -1345,18 +1484,20 @@ impl ServingEngine {
         pool: &mut UnifiedKvPool,
         decode_stats: &mut DecodeLatencyStats,
         cache_stats: &mut CacheStats,
+        sink: &mut dyn TraceSink,
     ) {
         let s = table.get(id).expect("known request");
         if let Phase::Decoding { generated } = s.phase {
             let generated = generated + 1;
             if generated >= s.request.output_len {
-                Self::finish_request(table, id, now, pool, decode_stats, cache_stats);
+                Self::finish_request(table, id, now, pool, decode_stats, cache_stats, sink);
             } else {
-                set_phase(table, id, Phase::DecodeReady { generated });
+                set_phase(table, id, Phase::DecodeReady { generated }, now, sink);
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_request(
         table: &mut RequestTable<RequestState>,
         id: RequestId,
@@ -1364,12 +1505,13 @@ impl ServingEngine {
         pool: &mut UnifiedKvPool,
         decode_stats: &mut DecodeLatencyStats,
         cache_stats: &mut CacheStats,
+        sink: &mut dyn TraceSink,
     ) {
         let state = table.get_mut(id).expect("known request");
         state.finish = Some(now);
         let first_token = state.first_token;
         let conversation = state.request.conversation;
-        set_phase(table, id, Phase::Finished);
+        set_phase(table, id, Phase::Finished, now, sink);
         if let Some(ft) = first_token {
             decode_stats.record(now.saturating_since(ft).as_secs());
         }

@@ -43,9 +43,44 @@ use loong_sched::router::{all_replicas, FleetLoadTracker, RouteRequest, Router, 
 use loong_simcore::ids::{ReplicaId, RequestId};
 use loong_simcore::pool::run_indexed;
 use loong_simcore::time::SimTime;
+use loong_trace::{TraceConfig, TraceRecorder};
 use loong_workload::request::Request;
 use loong_workload::stream::TraceStream;
 use loong_workload::trace::Trace;
+use std::collections::BTreeSet;
+
+/// Snapshot of the tracing state a pooled segment closure needs: the
+/// recorder's config plus the ever-retried id set. `None` when the run is
+/// untraced, so the no-recorder path builds no child recorders at all.
+pub(crate) type TraceSeed = Option<(TraceConfig, BTreeSet<u64>)>;
+
+/// Captures the [`TraceSeed`] of an optional parent recorder.
+pub(crate) fn trace_seed(recorder: &Option<&mut TraceRecorder>) -> TraceSeed {
+    recorder
+        .as_ref()
+        .map(|r| (r.config(), r.retried_snapshot()))
+}
+
+/// Runs one replica segment on a fresh engine — traced through a child
+/// recorder when `seed` is armed, plain otherwise. Pure in both modes (the
+/// sink only observes already-made decisions), so segments can run on the
+/// worker pool; the caller absorbs returned children serially in replica
+/// order, which keeps recording deterministic.
+pub(crate) fn run_segment_traced(
+    system: &SystemUnderTest,
+    sub: &Trace,
+    seed: &TraceSeed,
+) -> (RunOutcome, Option<TraceRecorder>) {
+    let mut engine = system.build_engine(Some(sub));
+    match seed {
+        Some((cfg, retried)) => {
+            let mut child = TraceRecorder::segment(*cfg, retried);
+            let outcome = engine.run_traced(sub, &mut child);
+            (outcome, Some(child))
+        }
+        None => (engine.run(sub), None),
+    }
+}
 
 /// Static configuration of a fleet run.
 #[derive(Debug, Clone)]
@@ -293,6 +328,24 @@ impl FleetEngine {
 
     /// Runs the fleet over a trace: route, serve every replica, merge.
     pub fn run(&mut self, trace: &Trace) -> FleetOutcome {
+        self.run_inner(trace, None)
+    }
+
+    /// Runs the fleet with every replica observed by `recorder`. Identical
+    /// decision-for-decision to [`FleetEngine::run`] — the recorder only
+    /// receives copies of already-made decisions — with per-replica spans,
+    /// timeseries and instants absorbed in replica-id order.
+    pub fn run_traced(&mut self, trace: &Trace, recorder: &mut TraceRecorder) -> FleetOutcome {
+        let outcome = self.run_inner(trace, Some(recorder));
+        recorder.finalize(outcome.sim_time);
+        outcome
+    }
+
+    fn run_inner(
+        &mut self,
+        trace: &Trace,
+        mut recorder: Option<&mut TraceRecorder>,
+    ) -> FleetOutcome {
         let assignment = self.route(trace);
         let subs = trace.split_by_assignment(self.config.replicas, &assignment);
         let assignments: Vec<(RequestId, ReplicaId)> = trace
@@ -303,11 +356,9 @@ impl FleetEngine {
             .collect();
 
         let system = self.config.replica_system();
-        let run_replica = |sub: &Trace| -> RunOutcome {
-            let mut engine = system.build_engine(Some(sub));
-            engine.run(sub)
-        };
-        let outcomes: Vec<RunOutcome> = if self.config.parallel {
+        let seed = trace_seed(&recorder);
+        let run_replica = |sub: &Trace| run_segment_traced(&system, sub, &seed);
+        let results: Vec<(RunOutcome, Option<TraceRecorder>)> = if self.config.parallel {
             // Bounded pool, not thread-per-replica: a 64-replica fleet on a
             // 8-core host runs 8 workers pulling replica indices, and the
             // pool merges by index so the outcome is bit-for-bit serial.
@@ -315,6 +366,13 @@ impl FleetEngine {
         } else {
             subs.iter().map(run_replica).collect()
         };
+        let mut outcomes = Vec::with_capacity(results.len());
+        for (r, (outcome, child)) in results.into_iter().enumerate() {
+            if let (Some(rec), Some(child)) = (recorder.as_deref_mut(), child) {
+                rec.merge_child(ReplicaId::from(r), child);
+            }
+            outcomes.push(outcome);
+        }
 
         Self::merge(subs, outcomes, assignments)
     }
@@ -326,6 +384,26 @@ impl FleetEngine {
     /// a bit-for-bit identical [`FleetOutcome`]
     /// (`tests/streaming_properties.rs` pins this across every policy).
     pub fn run_stream(&mut self, stream: TraceStream) -> (FleetOutcome, FleetFootprint) {
+        self.run_stream_inner(stream, None)
+    }
+
+    /// Streamed fleet run with every replica observed by `recorder` — the
+    /// streamed counterpart of [`FleetEngine::run_traced`].
+    pub fn run_stream_traced(
+        &mut self,
+        stream: TraceStream,
+        recorder: &mut TraceRecorder,
+    ) -> (FleetOutcome, FleetFootprint) {
+        let (outcome, footprint) = self.run_stream_inner(stream, Some(recorder));
+        recorder.finalize(outcome.sim_time);
+        (outcome, footprint)
+    }
+
+    fn run_stream_inner(
+        &mut self,
+        stream: TraceStream,
+        mut recorder: Option<&mut TraceRecorder>,
+    ) -> (FleetOutcome, FleetFootprint) {
         let n = self.config.replicas;
         let label = stream.label().to_string();
         self.router = self.config.policy.build();
@@ -366,15 +444,20 @@ impl FleetEngine {
             })
             .collect();
         let system = self.config.replica_system();
-        let run_replica = |sub: &Trace| -> RunOutcome {
-            let mut engine = system.build_engine(Some(sub));
-            engine.run(sub)
-        };
-        let outcomes: Vec<RunOutcome> = if self.config.parallel {
+        let seed = trace_seed(&recorder);
+        let run_replica = |sub: &Trace| run_segment_traced(&system, sub, &seed);
+        let results: Vec<(RunOutcome, Option<TraceRecorder>)> = if self.config.parallel {
             run_indexed(subs.len(), |i| run_replica(&subs[i]))
         } else {
             subs.iter().map(run_replica).collect()
         };
+        let mut outcomes = Vec::with_capacity(results.len());
+        for (r, (outcome, child)) in results.into_iter().enumerate() {
+            if let (Some(rec), Some(child)) = (recorder.as_deref_mut(), child) {
+                rec.merge_child(ReplicaId::from(r), child);
+            }
+            outcomes.push(outcome);
+        }
         (Self::merge(subs, outcomes, assignments), footprint)
     }
 

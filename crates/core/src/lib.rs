@@ -61,6 +61,10 @@ pub use elastic::{
 pub use engine::{EngineConfig, HostSwapConfig, RunOutcome, ServingEngine};
 pub use experiment::{compare_systems, sweep_system, SweepConfig, SweepResult, WorkloadSpec};
 pub use fleet::{FleetConfig, FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome};
+pub use loong_trace::{
+    perfetto_json, series_csv, InstantEvent, NoopSink, Span, SpanPhase, Terminal, TraceConfig,
+    TraceLedger, TraceRecorder, TraceSink,
+};
 pub use reliability::{FailedRequest, ReliabilityConfig, ReliableFleetOutcome};
 pub use systems::{PressureMode, SystemKind, SystemUnderTest};
 
@@ -89,6 +93,8 @@ pub mod prelude {
     pub use loong_simcore::ids::{
         BatchId, GpuId, GroupId, InstanceId, NodeId, ReplicaId, RequestId,
     };
+    pub use loong_simcore::{ProfileCounters, ProfileReport, SelfProfile};
     pub use loong_simcore::{SimDuration, SimRng, SimTime};
+    pub use loong_trace::prelude::*;
     pub use loong_workload::prelude::*;
 }

@@ -54,7 +54,9 @@
 //! pin this.
 
 use crate::engine::RunOutcome;
-use crate::fleet::{FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome};
+use crate::fleet::{
+    run_segment_traced, trace_seed, FleetEngine, FleetFootprint, FleetOutcome, ReplicaOutcome,
+};
 use loong_metrics::cache::CacheStats;
 use loong_metrics::fleet::FleetSummary;
 use loong_metrics::pressure::PressureStats;
@@ -68,6 +70,7 @@ use loong_sched::router::{FleetLoadTracker, RouteRequest};
 use loong_simcore::ids::{ReplicaId, RequestId};
 use loong_simcore::pool::run_indexed;
 use loong_simcore::time::{SimDuration, SimTime};
+use loong_trace::TraceRecorder;
 use loong_workload::failure::FailureSchedule;
 use loong_workload::request::Request;
 use loong_workload::stream::TraceStream;
@@ -219,8 +222,29 @@ impl FleetEngine {
     ///
     /// Panics if the schedule strikes a replica outside the fleet.
     pub fn run_reliable(&mut self, trace: &Trace, rel: &ReliabilityConfig) -> ReliableFleetOutcome {
-        self.run_reliable_source(&trace.label, trace.requests.iter().cloned(), rel)
+        self.run_reliable_source(&trace.label, trace.requests.iter().cloned(), rel, None)
             .0
+    }
+
+    /// Runs the fleet under failure injection with the whole run observed
+    /// by `recorder`: per-request lifecycle spans (casualties, retries and
+    /// downtime included), per-replica timeseries, and crash/recover/
+    /// breaker instants. Identical decision-for-decision to
+    /// [`FleetEngine::run_reliable`].
+    pub fn run_reliable_traced(
+        &mut self,
+        trace: &Trace,
+        rel: &ReliabilityConfig,
+        recorder: &mut TraceRecorder,
+    ) -> ReliableFleetOutcome {
+        let (outcome, _) = self.run_reliable_source(
+            &trace.label,
+            trace.requests.iter().cloned(),
+            rel,
+            Some(recorder),
+        );
+        recorder.finalize(outcome.fleet.sim_time);
+        outcome
     }
 
     /// Runs the fleet under failure injection over a lazy request stream.
@@ -237,7 +261,24 @@ impl FleetEngine {
         rel: &ReliabilityConfig,
     ) -> (ReliableFleetOutcome, FleetFootprint) {
         let label = stream.label().to_string();
-        self.run_reliable_source(&label, stream, rel)
+        self.run_reliable_source(&label, stream, rel, None)
+    }
+
+    /// Streamed reliability run observed by `recorder` — the streamed
+    /// counterpart of [`FleetEngine::run_reliable_traced`]. The recorder's
+    /// own residency stays `O(sampled + bins + peak-open)` (its
+    /// [`loong_trace::TraceLedger`] proves it), so tracing preserves the
+    /// streamed path's memory claim.
+    pub fn run_reliable_stream_traced(
+        &mut self,
+        stream: TraceStream,
+        rel: &ReliabilityConfig,
+        recorder: &mut TraceRecorder,
+    ) -> (ReliableFleetOutcome, FleetFootprint) {
+        let label = stream.label().to_string();
+        let (outcome, footprint) = self.run_reliable_source(&label, stream, rel, Some(recorder));
+        recorder.finalize(outcome.fleet.sim_time);
+        (outcome, footprint)
     }
 
     /// The shared implementation of the materialised and streamed
@@ -247,6 +288,7 @@ impl FleetEngine {
         label: &str,
         source: I,
         rel: &ReliabilityConfig,
+        mut recorder: Option<&mut TraceRecorder>,
     ) -> (ReliableFleetOutcome, FleetFootprint) {
         let mut source = source.peekable();
         let n = self.config.replicas;
@@ -293,6 +335,12 @@ impl FleetEngine {
                 &mut tracker,
                 &mut ledger,
             );
+            if let Some(rec) = recorder.as_deref_mut() {
+                for event in rel.schedule.events().iter().filter(|e| e.crash == b) {
+                    rec.crash(b, event.replica);
+                    rec.recover(event.recover, event.replica);
+                }
+            }
             // Replicas crashing at b, in ascending id order (events are
             // sorted by (crash, replica)). The capped engine runs are pure,
             // so they go to the worker pool; casualty settlement — breaker
@@ -320,13 +368,20 @@ impl FleetEngine {
                 .config
                 .replica_system()
                 .with_max_sim_time(SimDuration::from_secs(b.as_secs()));
-            let run_segment = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
-            let outcomes: Vec<RunOutcome> = if self.config.parallel {
+            let seed = trace_seed(&recorder);
+            let run_segment = |sub: &Trace| run_segment_traced(&system, sub, &seed);
+            let results: Vec<(RunOutcome, Option<TraceRecorder>)> = if self.config.parallel {
                 run_indexed(crashing.len(), |i| run_segment(&crashing[i].1))
             } else {
                 crashing.iter().map(|(_, sub)| run_segment(sub)).collect()
             };
-            for ((replica, sub), outcome) in crashing.into_iter().zip(outcomes) {
+            for ((replica, sub), (outcome, child)) in crashing.into_iter().zip(results) {
+                // Absorb the segment's recording first: its in-flight
+                // requests become the parent's open entries, which the
+                // casualty closes below transition to retries or failures.
+                if let (Some(rec), Some(child)) = (recorder.as_deref_mut(), child) {
+                    rec.merge_child(replica, child);
+                }
                 // Casualties: assigned to this segment but neither
                 // completed nor rejected when the crash struck. The
                 // sub-trace holds the routed bucket (arrival-sorted), so
@@ -346,8 +401,16 @@ impl FleetEngine {
                 for req in casualties {
                     stats.failed_attempts += 1;
                     casualty_ids.insert(req.id);
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.casualty(b, req.id);
+                    }
                     if let Some(bk) = breaker.as_mut() {
-                        bk.record_failure(replica, b);
+                        let tripped = bk.record_failure(replica, b);
+                        if tripped {
+                            if let Some(rec) = recorder.as_deref_mut() {
+                                rec.breaker_open(b, replica);
+                            }
+                        }
                     }
                     let used = retries_used.get(&req.id).copied().unwrap_or(0);
                     if rel.retry.allows(used) {
@@ -357,19 +420,26 @@ impl FleetEngine {
                         retry.arrival = b + rel.retry.backoff(attempt);
                         stats.retries_scheduled += 1;
                         stats.re_prefilled_tokens += retry.input_len;
+                        if let Some(rec) = recorder.as_deref_mut() {
+                            rec.retry_scheduled(b, req.id, attempt, retry.arrival);
+                        }
                         pending.insert((retry.arrival, retry.id), (retry, attempt));
                         ledger.grow_resident();
                     } else {
                         stats.retries_exhausted += 1;
+                        let reason = format!(
+                            "{replica} crashed at {b} with no retry budget left \
+                             ({used} of {} used)",
+                            rel.retry.max_retries
+                        );
+                        if let Some(rec) = recorder.as_deref_mut() {
+                            rec.request_failed(b, req.id, &reason);
+                        }
                         failed.push(FailedRequest {
                             id: req.id,
                             at: b,
                             replica,
-                            reason: format!(
-                                "{replica} crashed at {b} with no retry budget left \
-                                 ({used} of {} used)",
-                                rel.retry.max_retries
-                            ),
+                            reason,
                         });
                     }
                 }
@@ -395,13 +465,17 @@ impl FleetEngine {
                 Trace::from_requests(format!("{label} · replica {r}/{n}"), bucket)
             })
             .collect();
-        let run_final = |sub: &Trace| system.build_engine(Some(sub)).run(sub);
-        let final_outcomes: Vec<RunOutcome> = if self.config.parallel {
+        let seed = trace_seed(&recorder);
+        let run_final = |sub: &Trace| run_segment_traced(&system, sub, &seed);
+        let final_results: Vec<(RunOutcome, Option<TraceRecorder>)> = if self.config.parallel {
             run_indexed(finals.len(), |r| run_final(&finals[r]))
         } else {
             finals.iter().map(run_final).collect()
         };
-        for (segment, outcome) in segments.iter_mut().zip(final_outcomes) {
+        for (r, (segment, (outcome, child))) in segments.iter_mut().zip(final_results).enumerate() {
+            if let (Some(rec), Some(child)) = (recorder.as_deref_mut(), child) {
+                rec.merge_child(ReplicaId::from(r), child);
+            }
             segment.push(outcome);
         }
 

@@ -137,6 +137,7 @@ mod tests {
             preemptions: 0,
             pressure: loong_metrics::pressure::PressureStats::default(),
             cache: loong_metrics::cache::CacheStats::default(),
+            attribution: loong_metrics::TimeAttribution::default(),
         }
     }
 

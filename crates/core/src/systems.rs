@@ -312,4 +312,32 @@ impl SystemUnderTest {
         .with_cache(outcome.cache);
         (summary, outcome)
     }
+
+    /// Runs this system with the engine observed by `recorder` and the
+    /// recorder's per-phase time attribution attached to the summary.
+    /// Identical decision-for-decision to [`SystemUnderTest::run`]: the
+    /// recorder only receives copies of already-made decisions, so the
+    /// returned [`RunOutcome`] is bit-for-bit the untraced one.
+    pub fn run_traced(
+        &self,
+        trace: &Trace,
+        request_rate: f64,
+        slo: &SloSpec,
+        recorder: &mut loong_trace::TraceRecorder,
+    ) -> (RunSummary, RunOutcome) {
+        let mut engine = self.build_engine(Some(trace));
+        let outcome = engine.run_traced(trace, recorder);
+        recorder.finalize(outcome.sim_time);
+        let summary = RunSummary::from_records(
+            self.kind.label(),
+            trace.label.clone(),
+            request_rate,
+            &outcome.records,
+            slo,
+        )
+        .with_pressure(outcome.pressure)
+        .with_cache(outcome.cache)
+        .with_attribution(recorder.attribution());
+        (summary, outcome)
+    }
 }

@@ -16,6 +16,8 @@
 //!   (scale events, drains, shed-by-class, replica-seconds) and the
 //!   headline SLO-goodput-per-replica-second metric,
 //! * [`timeseries`] — binned event counters (e.g. scale-ups per 10 s),
+//! * [`attribution`] — per-phase, per-class simulated-time attribution
+//!   (the latency-breakdown denominator produced by the tracing tier),
 //! * [`summary`] — per-run summaries and markdown comparison tables,
 //! * [`fleet`] — fleet-level aggregation: merged metrics over every
 //!   replica's records plus the per-replica breakdown.
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod attribution;
 pub mod cache;
 pub mod elasticity;
 pub mod fleet;
@@ -55,6 +58,7 @@ pub mod slo;
 pub mod summary;
 pub mod timeseries;
 
+pub use attribution::{PhaseSeconds, TimeAttribution};
 pub use cache::CacheStats;
 pub use elasticity::{slo_goodput_per_replica_second, ElasticityStats};
 pub use fleet::FleetSummary;
@@ -64,10 +68,11 @@ pub use record::RequestRecord;
 pub use reliability::{availability_windows, ReliabilityStats, SlaWindow};
 pub use slo::{goodput, SloPoint, SloSpec};
 pub use summary::RunSummary;
-pub use timeseries::BinnedCounter;
+pub use timeseries::{bin_index, BinnedCounter};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
+    pub use crate::attribution::{PhaseSeconds, TimeAttribution};
     pub use crate::cache::CacheStats;
     pub use crate::elasticity::{slo_goodput_per_replica_second, ElasticityStats};
     pub use crate::fleet::FleetSummary;
@@ -77,5 +82,5 @@ pub mod prelude {
     pub use crate::reliability::{availability_windows, ReliabilityStats, SlaWindow};
     pub use crate::slo::{goodput, SloPoint, SloSpec};
     pub use crate::summary::RunSummary;
-    pub use crate::timeseries::BinnedCounter;
+    pub use crate::timeseries::{bin_index, BinnedCounter};
 }

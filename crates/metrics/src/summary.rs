@@ -5,6 +5,7 @@
 //! latency, throughput, and SLO attainment. The figure-reproduction benches
 //! assemble tables of these summaries across systems and request rates.
 
+use crate::attribution::TimeAttribution;
 use crate::cache::CacheStats;
 use crate::latency::LatencySummary;
 use crate::pressure::PressureStats;
@@ -50,6 +51,10 @@ pub struct RunSummary {
     /// disabled or never reused a prefix). Attached via
     /// [`RunSummary::with_cache`], like the pressure block.
     pub cache: CacheStats,
+    /// Per-phase, per-class simulated-time attribution (all-zero unless a
+    /// tracing recorder observed the run). Attached via
+    /// [`RunSummary::with_attribution`].
+    pub attribution: TimeAttribution,
 }
 
 impl RunSummary {
@@ -83,6 +88,7 @@ impl RunSummary {
                 preemptions: 0,
                 pressure: PressureStats::default(),
                 cache: CacheStats::default(),
+                attribution: TimeAttribution::default(),
             };
         }
         let first_arrival = records
@@ -131,6 +137,7 @@ impl RunSummary {
             preemptions: records.iter().map(|r| u64::from(r.preemptions)).sum(),
             pressure: PressureStats::default(),
             cache: CacheStats::default(),
+            attribution: TimeAttribution::default(),
         }
     }
 
@@ -143,6 +150,12 @@ impl RunSummary {
     /// Attaches engine-level prefix-cache counters to the summary.
     pub fn with_cache(mut self, cache: CacheStats) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Attaches a tracing recorder's per-phase time attribution.
+    pub fn with_attribution(mut self, attribution: TimeAttribution) -> Self {
+        self.attribution = attribution;
         self
     }
 

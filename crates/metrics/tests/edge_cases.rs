@@ -103,6 +103,82 @@ fn timeseries_edges_are_well_defined() {
 }
 
 #[test]
+fn bin_boundaries_survive_floating_point() {
+    // 243 * 0.3 is the classic trap: the product divides back to
+    // 242.999…, so a naive floor puts a bin-boundary event one bin low.
+    // The half-open [i·w, (i+1)·w) contract says it belongs to bin 243.
+    let w = 0.3;
+    let t = SimTime::from_secs(243.0 * w);
+    assert_eq!(bin_index(w, t), 243);
+
+    // Sweep boundary products across widths that are not exactly
+    // representable: every `i·w` must land in bin `i`, and the instants
+    // just inside each side of the boundary must flank it.
+    for w in [0.1, 0.3, 0.7, 1.3, 2.6] {
+        for i in [0usize, 1, 7, 100, 243, 1000] {
+            let boundary = i as f64 * w;
+            assert_eq!(
+                bin_index(w, SimTime::from_secs(boundary)),
+                i,
+                "boundary {i}·{w} must open bin {i}"
+            );
+            let inside = bin_index(w, SimTime::from_secs(boundary + w * 0.5));
+            assert_eq!(inside, i, "midpoint of bin {i} (w={w})");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "bin width must be positive")]
+fn zero_width_counter_is_rejected() {
+    let _ = BinnedCounter::new(0.0);
+}
+
+#[test]
+#[should_panic(expected = "bin width must be positive")]
+fn infinite_width_counter_is_rejected() {
+    // `inf > 0.0` holds, so a bare positivity check would admit a counter
+    // that folds every event into bin 0; the finiteness guard must fire.
+    let _ = BinnedCounter::new(f64::INFINITY);
+}
+
+#[test]
+fn empty_merge_is_identity_and_adopts_width() {
+    // Merging an empty counter is the identity even when the widths
+    // disagree — an empty counter carries no binned information.
+    let mut base = BinnedCounter::new(10.0);
+    base.record(SimTime::from_secs(5.0));
+    let before = base.clone();
+    base.merge(&BinnedCounter::new(0.5));
+    assert_eq!(base, before);
+
+    // Merging *into* an empty counter adopts the other's width and bins.
+    let mut fresh = BinnedCounter::new(10.0);
+    let mut other = BinnedCounter::new(0.5);
+    other.record(SimTime::from_secs(1.25));
+    fresh.merge(&other);
+    assert_eq!(fresh.bin_width(), 0.5);
+    assert_eq!(fresh.bins(), other.bins());
+    assert_eq!(fresh.total(), 1);
+
+    // Two empties merge to an empty, width untouched.
+    let mut a = BinnedCounter::new(10.0);
+    a.merge(&BinnedCounter::new(2.0));
+    assert!(a.bins().is_empty());
+    assert_eq!(a.bin_width(), 10.0);
+}
+
+#[test]
+#[should_panic(expected = "different bin widths")]
+fn mismatched_nonempty_merge_is_rejected() {
+    let mut a = BinnedCounter::new(10.0);
+    a.record(SimTime::from_secs(1.0));
+    let mut b = BinnedCounter::new(5.0);
+    b.record(SimTime::from_secs(1.0));
+    a.merge(&b);
+}
+
+#[test]
 fn fleet_rollup_of_all_zero_stats_stays_zero() {
     let r0 = [record(0)];
     let r1 = [record(1)];
@@ -144,6 +220,53 @@ fn cache_stats_strategy() -> impl Strategy<Value = (u64, u64, u64, u64, u64, u64
 
 proptest! {
     #![proptest_config(ci_config(32))]
+
+    /// `bin_index` honours the half-open `[i·w, (i+1)·w)` contract for
+    /// arbitrary widths and instants: the chosen bin's interval contains
+    /// the instant (modulo the one-ulp boundary correction the function
+    /// documents), and recording through a counter lands exactly there.
+    #[test]
+    fn bin_index_respects_half_open_intervals(
+        width_m in 1u32..10_000,
+        t_m in 0u64..10_000_000,
+    ) {
+        let w = width_m as f64 / 1000.0;
+        let secs = t_m as f64 / 1000.0;
+        let idx = bin_index(w, SimTime::from_secs(secs));
+        // Post-correction invariants, exactly as documented.
+        prop_assert!(secs < (idx as f64 + 1.0) * w, "t must precede the bin's end");
+        prop_assert!(idx == 0 || (idx as f64) * w <= secs, "t must not precede the bin's start");
+
+        let mut c = BinnedCounter::new(w);
+        c.record(SimTime::from_secs(secs));
+        prop_assert_eq!(c.bins().len(), idx + 1);
+        prop_assert_eq!(c.bins()[idx], 1);
+        prop_assert_eq!(c.total(), 1);
+    }
+
+    /// Merging counters pairwise equals recording every event into one
+    /// counter — merge is the fold, empty counters included.
+    #[test]
+    fn merge_equals_single_counter_fold(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 0..20),
+            1..5,
+        ),
+    ) {
+        let w = 7.5;
+        let mut folded = BinnedCounter::new(w);
+        let mut merged = BinnedCounter::new(w);
+        for stream in &streams {
+            let mut partial = BinnedCounter::new(w);
+            for &t_m in stream {
+                let t = SimTime::from_secs(t_m as f64 / 100.0);
+                folded.record(t);
+                partial.record(t);
+            }
+            merged.merge(&partial);
+        }
+        prop_assert_eq!(merged, folded);
+    }
 
     /// Merged fleet stats equal the fold of per-replica stats: every
     /// counter is the sum, every high-water mark the max, for both the

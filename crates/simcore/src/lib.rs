@@ -14,7 +14,9 @@
 //! * [`table`] — a dense request table with incrementally maintained
 //!   phase indices, the backbone of the engine's O(active) run loop,
 //! * [`pool`] — a bounded, deterministic fork-join worker pool used by the
-//!   fleet runners to execute independent replica segments in parallel.
+//!   fleet runners to execute independent replica segments in parallel,
+//! * [`profile`] — wall-clock self-profiling counters (scheduling points,
+//!   events popped, pool jobs per wall-second).
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@ pub mod distributions;
 pub mod events;
 pub mod ids;
 pub mod pool;
+pub mod profile;
 pub mod rng;
 pub mod table;
 pub mod time;
@@ -57,6 +60,7 @@ pub use distributions::{Empirical, Exponential, LogNormal, LogUniform, Zipf};
 pub use events::{Event, EventQueue};
 pub use ids::{BatchId, GpuId, GroupId, IdAllocator, InstanceId, NodeId, ReplicaId, RequestId};
 pub use pool::{run_indexed, worker_cap};
+pub use profile::{ProfileCounters, ProfileReport, SelfProfile};
 pub use rng::SimRng;
 pub use table::{PhaseClass, RequestTable};
 pub use time::{SimDuration, SimTime};

@@ -39,6 +39,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    crate::profile::add_pool_jobs(jobs as u64);
     let workers = worker_cap(jobs);
     if workers <= 1 || jobs <= 1 {
         return (0..jobs).map(f).collect();

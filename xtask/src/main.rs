@@ -1,6 +1,6 @@
 //! Repository automation tasks (`cargo run -p xtask -- <task>`).
 //!
-//! Currently one task:
+//! Two tasks:
 //!
 //! * `bench-gate <BENCH_*.json>` — the perf-regression gate. Reads a
 //!   bench's `--smoke` output from stdin, extracts its `BENCH_SMOKE_JSON`
@@ -10,6 +10,17 @@
 //!   tolerance (±25% by default; a zero reference admits only zero). The
 //!   delta table is always printed; any violation fails the process, which
 //!   fails `ci.sh` and the GitHub workflow.
+//!
+//! * `trace-check <trace.perfetto.json>` — the exported-trace validator.
+//!   Parses a Chrome trace-event document produced by
+//!   [`loong_trace::perfetto_json`], then checks the structural invariants
+//!   the exporter promises: every event is a well-formed `"X"` (complete
+//!   span) or `"i"` (instant) record, durations are non-negative, the
+//!   global stream is sorted by timestamp, spans of the same request on
+//!   the same replica never overlap, and the `otherData` counts match the
+//!   events actually present (span count, distinct sampled requests,
+//!   instant count) — the cross-validation hook against the recorder's
+//!   `TraceLedger`.
 //!
 //! Only simulated quantities (completed counts, iterations, simulated
 //! seconds, token counts) are gated — wall-clock throughput varies across
@@ -23,9 +34,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [task, reference] if task == "bench-gate" => bench_gate(reference),
+        [task, trace] if task == "trace-check" => trace_check(trace),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- bench-gate <BENCH_*.json>  (smoke output on stdin)"
+                "usage: cargo run -p xtask -- bench-gate <BENCH_*.json>  (smoke output on stdin)\n\
+                 \x20      cargo run -p xtask -- trace-check <trace.perfetto.json>"
             );
             ExitCode::from(2)
         }
@@ -135,6 +148,130 @@ fn bench_gate_inner(reference_path: &str) -> Result<(), String> {
         ));
     }
     println!("bench-gate: all metrics within tolerance");
+    Ok(())
+}
+
+fn trace_check(trace_path: &str) -> ExitCode {
+    match trace_check_inner(trace_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("trace-check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Timestamps render with fixed 3-decimal microsecond precision; span
+/// endpoints and durations are rounded independently, so adjacency checks
+/// allow a couple of ulps of that grid.
+const TS_EPSILON_US: f64 = 0.01;
+
+fn trace_check_inner(trace_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let doc = serde_json::parse_value(&text)
+        .map_err(|e| format!("{trace_path} is not valid JSON: {e:?}"))?;
+
+    let other = get(&doc, "otherData", trace_path)?;
+    let expect = |key: &str| -> Result<u64, String> {
+        as_number(get(other, key, "otherData")?)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("otherData.{key} must be a number"))
+    };
+    let expected_spans = expect("spans")?;
+    let expected_span_requests = expect("span_requests")?;
+    let expected_instants = expect("instants")?;
+
+    let Value::Seq(events) = get(&doc, "traceEvents", trace_path)? else {
+        return Err("traceEvents must be an array".to_string());
+    };
+
+    let field = |event: &Value, key: &str, idx: usize| -> Result<f64, String> {
+        event
+            .get(key)
+            .and_then(as_number)
+            .ok_or_else(|| format!("traceEvents[{idx}]: missing numeric `{key}`"))
+    };
+
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    let mut span_requests = std::collections::BTreeSet::new();
+    // Per (pid, tid): end of the last span, for the non-overlap check.
+    let mut open_ends: std::collections::BTreeMap<(u64, u64), f64> =
+        std::collections::BTreeMap::new();
+    // The exporter writes all spans (sorted by start) then all instants
+    // (sorted by time): each block must be monotone on its own clock.
+    let mut last_span_ts = f64::NEG_INFINITY;
+    let mut last_instant_ts = f64::NEG_INFINITY;
+    for (idx, event) in events.iter().enumerate() {
+        let Some(Value::Str(ph)) = event.get("ph") else {
+            return Err(format!("traceEvents[{idx}]: missing `ph`"));
+        };
+        match event.get("name") {
+            Some(Value::Str(_)) => {}
+            _ => return Err(format!("traceEvents[{idx}]: missing `name`")),
+        }
+        let ts = field(event, "ts", idx)?;
+        let last_ts = if ph.as_str() == "i" {
+            &mut last_instant_ts
+        } else {
+            &mut last_span_ts
+        };
+        if ts < *last_ts - TS_EPSILON_US {
+            return Err(format!(
+                "traceEvents[{idx}]: timestamps not monotone ({ts} after {last_ts})"
+            ));
+        }
+        *last_ts = last_ts.max(ts);
+        match ph.as_str() {
+            "X" => {
+                spans += 1;
+                let dur = field(event, "dur", idx)?;
+                if dur < 0.0 {
+                    return Err(format!("traceEvents[{idx}]: negative duration {dur}"));
+                }
+                let pid = field(event, "pid", idx)? as u64;
+                let tid = field(event, "tid", idx)? as u64;
+                span_requests.insert(tid);
+                if let Some(&prev_end) = open_ends.get(&(pid, tid)) {
+                    if ts < prev_end - TS_EPSILON_US {
+                        return Err(format!(
+                            "traceEvents[{idx}]: request {tid} on replica {pid} overlaps \
+                             its previous span (starts {ts} before {prev_end})"
+                        ));
+                    }
+                }
+                open_ends.insert((pid, tid), ts + dur);
+            }
+            "i" => {
+                instants += 1;
+                field(event, "pid", idx)?;
+            }
+            other => return Err(format!("traceEvents[{idx}]: unexpected phase `{other}`")),
+        }
+    }
+
+    let check_count = |label: &str, expected: u64, actual: u64| -> Result<(), String> {
+        if expected != actual {
+            return Err(format!(
+                "otherData.{label} says {expected} but the document holds {actual}"
+            ));
+        }
+        Ok(())
+    };
+    check_count("spans", expected_spans, spans)?;
+    check_count(
+        "span_requests",
+        expected_span_requests,
+        span_requests.len() as u64,
+    )?;
+    check_count("instants", expected_instants, instants)?;
+
+    println!(
+        "trace-check: {trace_path} ok — {spans} spans over {} sampled requests, \
+         {instants} instants, timestamps monotone, no per-request overlap",
+        span_requests.len()
+    );
     Ok(())
 }
 
