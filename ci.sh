@@ -80,6 +80,9 @@ smoke_gate million_scale "^MILLION_SCALE streamed=20000 " BENCH_million.json
 step "observability smoke + gate (untraced vs 1%-sampled recorder vs BENCH_obs.json)"
 smoke_gate observability "^OBSERVABILITY sampled=" BENCH_obs.json
 
+step "sparse-attention smoke + gate (policy ablation vs BENCH_sparse.json)"
+smoke_gate sparse_attention "^SPARSE_ATTENTION policy=page-sparse-decode .*unfinished=0" BENCH_sparse.json
+
 step "trace-check the million-scale smoke's Perfetto export"
 cargo run -q --release --locked -p xtask -- trace-check target/million_scale.perfetto.json
 
@@ -89,7 +92,7 @@ cargo build --examples --locked
 step "run every example (small deterministic configs; a panicking example fails CI)"
 for example in quickstart compare_systems elastic_scaling_trace capacity_planning \
                fleet_routing memory_pressure multi_turn_cache failure_injection \
-               autoscale_overload trace_export; do
+               autoscale_overload trace_export sparse_attention; do
     echo "--- example: $example"
     LOONG_SMOKE=1 cargo run -q --release --locked --example "$example" > /dev/null
 done

@@ -31,7 +31,7 @@ struct Fixture {
 
 fn fixture(num_pending: usize) -> Fixture {
     let registry = InstanceRegistry::build(&ClusterSpec::single_node_a800(8), 2);
-    let cost_model = CostModel::new(ModelConfig::lwm_1m_text());
+    let cost_model = CostModel::builder(ModelConfig::lwm_1m_text()).build();
     let mut rng = SimRng::seed(77);
     let configs: Vec<_> = (1..=4)
         .map(|sp| loong_model::roofline::ParallelConfig::new(2, sp))

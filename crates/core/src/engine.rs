@@ -25,6 +25,7 @@ use loong_kvcache::unified::UnifiedKvPool;
 use loong_metrics::cache::CacheStats;
 use loong_metrics::pressure::PressureStats;
 use loong_metrics::record::RequestRecord;
+use loong_model::attention::AttentionCostPolicy;
 use loong_model::config::ModelConfig;
 use loong_model::roofline::{CostModel, ParallelConfig};
 use loong_model::sib::ScalingInfoBase;
@@ -72,6 +73,10 @@ pub struct EngineConfig {
     /// or eviction code runs, keeping every run bit-for-bit on the
     /// pre-tier path.
     pub prefix_cache: Option<PrefixCacheConfig>,
+    /// Attention-cost policy the run's cost model prices attention with.
+    /// `Dense` (the default) keeps every run bit-for-bit on the pre-policy
+    /// path; the sparse policies model LServe-style attention kernels.
+    pub attention: AttentionCostPolicy,
 }
 
 /// Configuration of the host-DRAM KV swap tier.
@@ -128,6 +133,7 @@ impl EngineConfig {
             host_swap: None,
             kv_capacity_override: None,
             prefix_cache: None,
+            attention: AttentionCostPolicy::Dense,
         }
     }
 
@@ -486,7 +492,10 @@ impl ServingEngine {
         config.cluster.validate().expect("valid cluster");
         config.model.validate().expect("valid model");
         let registry = InstanceRegistry::build(&config.cluster, config.tp);
-        let cost_model = CostModel::new(config.model.clone()).with_gpu(config.cluster.gpu.clone());
+        let cost_model = CostModel::builder(config.model.clone())
+            .gpu(config.cluster.gpu.clone())
+            .attention(config.attention)
+            .build();
         let mut rng = SimRng::seed(config.seed);
         let configs: Vec<ParallelConfig> = (1..=registry.num_instances())
             .map(|sp| ParallelConfig::new(config.tp, sp))

@@ -38,6 +38,7 @@ use loong_metrics::fleet::FleetSummary;
 use loong_metrics::pressure::PressureStats;
 use loong_metrics::record::RequestRecord;
 use loong_metrics::slo::SloSpec;
+use loong_model::attention::AttentionCostPolicy;
 use loong_model::config::ModelConfig;
 use loong_sched::router::{all_replicas, FleetLoadTracker, RouteRequest, Router, RouterPolicy};
 use loong_simcore::ids::{ReplicaId, RequestId};
@@ -110,6 +111,9 @@ pub struct FleetConfig {
     pub prefix_cache: Option<PrefixCacheConfig>,
     /// Per-instance KV capacity override applied to every replica.
     pub kv_capacity_override: Option<u64>,
+    /// Attention-cost policy of every replica's cost model (`Dense` keeps
+    /// the fleet bit-for-bit on the pre-policy path).
+    pub attention: AttentionCostPolicy,
     /// Run replicas on a bounded worker pool, capped at the host's
     /// available parallelism ([`loong_simcore::pool`]). Purely a
     /// wall-clock choice: replicas are independent and the pool merges in
@@ -132,6 +136,7 @@ impl FleetConfig {
             pressure: PressureMode::Off,
             prefix_cache: None,
             kv_capacity_override: None,
+            attention: AttentionCostPolicy::Dense,
             parallel: false,
         }
     }
@@ -147,6 +152,7 @@ impl FleetConfig {
             kv_capacity_override: self.kv_capacity_override,
             max_sim_time: None,
             prefix_cache: self.prefix_cache,
+            attention: self.attention,
         }
     }
 }

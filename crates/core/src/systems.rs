@@ -11,6 +11,7 @@ use loong_cluster::topology::ClusterSpec;
 use loong_kvcache::prefix::PrefixCacheConfig;
 use loong_metrics::slo::SloSpec;
 use loong_metrics::summary::RunSummary;
+use loong_model::attention::AttentionCostPolicy;
 use loong_model::config::ModelConfig;
 use loong_sched::baselines::{
     DistServeScheduler, IndependentInstancesScheduler, SplitFuseScheduler, StaticHybridScheduler,
@@ -212,6 +213,9 @@ pub struct SystemUnderTest {
     /// The prefix-cache tier (KV reuse across conversation turns). `None`
     /// — the default — keeps runs bit-for-bit on the pre-tier path.
     pub prefix_cache: Option<PrefixCacheConfig>,
+    /// Attention-cost policy priced by the run's cost model. `Dense` — the
+    /// default — keeps runs bit-for-bit on the pre-policy path.
+    pub attention: AttentionCostPolicy,
 }
 
 impl SystemUnderTest {
@@ -226,6 +230,7 @@ impl SystemUnderTest {
             kv_capacity_override: None,
             max_sim_time: None,
             prefix_cache: None,
+            attention: AttentionCostPolicy::Dense,
         }
     }
 
@@ -238,6 +243,12 @@ impl SystemUnderTest {
     /// Enables the prefix-cache tier with the given configuration.
     pub fn with_prefix_cache(mut self, config: PrefixCacheConfig) -> Self {
         self.prefix_cache = Some(config);
+        self
+    }
+
+    /// Selects the attention-cost policy for the run.
+    pub fn with_attention(mut self, attention: AttentionCostPolicy) -> Self {
+        self.attention = attention;
         self
     }
 
@@ -285,6 +296,7 @@ impl SystemUnderTest {
             host_swap,
             kv_capacity_override: self.kv_capacity_override,
             prefix_cache: self.prefix_cache,
+            attention: self.attention,
         };
         // The scheduler needs the instance list, which depends on tp.
         let registry = loong_esp::instance::InstanceRegistry::build(&self.cluster, tp);

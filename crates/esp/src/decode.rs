@@ -320,4 +320,39 @@ mod tests {
         };
         assert!(plan.validate().is_err());
     }
+
+    #[test]
+    fn page_sparse_policy_flattens_esp_decode_cost() {
+        // Page-sparse decode threads through the multi-master execution
+        // path: long-context decode gets cheaper than dense, and the cost
+        // saturates in context length beyond the token budget.
+        use loong_model::attention::AttentionCostPolicy;
+        let (registry, dense_cm, pool) = setup();
+        let sparse_cm = dense_cm
+            .clone()
+            .with_attention(AttentionCostPolicy::page_sparse());
+        let group = group_of(&[0, 1, 2, 3]);
+
+        let run = |cm: &CostModel, context: u64| {
+            let requests: Vec<(RequestId, u64)> = (0..8).map(|i| (RequestId(i), context)).collect();
+            let mut pool = pool.clone();
+            let plan = DecodePlan::build(group.clone(), &requests, &pool).expect("capacity");
+            execute_decode(&plan, cm, &registry, &mut pool)
+                .expect("append")
+                .cost
+                .total()
+        };
+
+        let dense_100k = run(&dense_cm, 100_000);
+        let sparse_100k = run(&sparse_cm, 100_000);
+        let sparse_400k = run(&sparse_cm, 400_000);
+        assert!(
+            sparse_100k < dense_100k,
+            "sparse {sparse_100k} should beat dense {dense_100k}"
+        );
+        assert!(
+            (sparse_400k - sparse_100k).abs() / sparse_100k < 0.01,
+            "sparse decode should be flat: {sparse_100k} vs {sparse_400k}"
+        );
+    }
 }

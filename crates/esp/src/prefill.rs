@@ -356,4 +356,34 @@ mod tests {
         assert!(format!("{e}").contains("10"));
         assert!(format!("{}", PrefillPlanError::EmptyBatch).contains("empty"));
     }
+
+    #[test]
+    fn hierarchical_prefill_policy_cheapens_esp_execution() {
+        // The attention policy threads through the ESP execution path via
+        // the cost model: a hierarchical-prefill policy must make the same
+        // plan cheaper than dense (the SP ring is priced against the
+        // policy-reduced local attention) and never more expensive.
+        use loong_model::attention::AttentionCostPolicy;
+        let (registry, dense_cm, pool) = setup();
+        let sparse_cm = dense_cm
+            .clone()
+            .with_attention(AttentionCostPolicy::hierarchical());
+        let group = group_of(&[0, 1, 2, 3]);
+        let requests = vec![PrefillRequest {
+            id: RequestId(0),
+            input_len: 400_000,
+        }];
+        let plan = PrefillPlan::build(group, requests, vec![InstanceId(0)], &pool).expect("fits");
+        let mut pool_a = pool.clone();
+        let mut pool_b = pool;
+        let dense = execute_prefill(&plan, &dense_cm, &registry, &mut pool_a)
+            .expect("commit")
+            .cost
+            .total();
+        let sparse = execute_prefill(&plan, &sparse_cm, &registry, &mut pool_b)
+            .expect("commit")
+            .cost
+            .total();
+        assert!(sparse < dense, "sparse {sparse} should beat dense {dense}");
+    }
 }

@@ -2,10 +2,16 @@
 //!
 //! The evaluation model of the paper is LWM-1M-Text, which shares the
 //! Llama-2-7B architecture (32 layers, 4096 hidden, 32 heads, multi-head
-//! attention) but is fine-tuned for a 1M-token context window. Only the
+//! attention) but supports a 1M-token context window. Only the
 //! architectural parameters matter for serving decisions: they determine
 //! parameter count (weight bytes), per-token KV-cache bytes, and the FLOP
 //! and byte counts that the roofline cost model consumes.
+//!
+//! Note that the architecture says nothing about *how much* of the context
+//! attention actually touches per token — that is the attention-cost
+//! policy's decision ([`crate::attention`]): dense attention reads all of
+//! it, the sparse policies cap it at a budget. This module only supplies
+//! the raw dense FLOP counts the policies build on.
 
 use serde::{Deserialize, Serialize};
 
@@ -168,7 +174,13 @@ impl ModelConfig {
     /// For a full prefill, `new_tokens == total_context == L` and the causal
     /// mask halves the work: `2 · L² · hidden` per layer. For a decode step
     /// `new_tokens == 1` and the cost is linear in the context length.
-    pub fn attention_flops(&self, new_tokens: f64, total_context: f64) -> f64 {
+    ///
+    /// Crate-private on purpose: this is the **dense** count, the raw
+    /// material of [`crate::attention`]. Everything outside the crate must
+    /// price attention through an
+    /// [`AttentionCostPolicy`](crate::attention::AttentionCostPolicy) so no
+    /// caller can silently bypass the configured sparsity.
+    pub(crate) fn attention_flops(&self, new_tokens: f64, total_context: f64) -> f64 {
         assert!(new_tokens >= 0.0 && total_context >= 0.0);
         assert!(
             total_context >= new_tokens,

@@ -20,6 +20,8 @@
 //! and multi-master decode winning only at large batch sizes (Figure 14b) —
 //! are the inputs every scheduling policy in the workspace reasons about.
 
+use crate::attention::{AttentionCost, AttentionCostPolicy};
+use crate::builder::CostModelBuilder;
 use crate::config::ModelConfig;
 use loong_cluster::comm::CommModel;
 use loong_cluster::gpu::{GpuSpec, LinkSpec};
@@ -89,7 +91,8 @@ impl IterationCost {
     }
 }
 
-/// The roofline cost model: model architecture + GPU + intra-instance link.
+/// The roofline cost model: model architecture + GPU + intra-instance link
+/// + attention-cost policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Transformer architecture being served.
@@ -106,6 +109,9 @@ pub struct CostModel {
     /// Constant per-iteration scheduling overhead in seconds (Python/Ray RPC
     /// and batching overhead in the real system).
     pub per_iteration_overhead_s: f64,
+    /// Attention-cost policy pricing every attention FLOP and KV-read term
+    /// (dense, page-sparse decode, or hierarchical prefill).
+    pub attention: AttentionCostPolicy,
 }
 
 impl CostModel {
@@ -118,7 +124,15 @@ impl CostModel {
             intra_instance_link: LinkSpec::nvlink_a800(),
             sp_overlap_fraction: 0.90,
             per_iteration_overhead_s: 2e-3,
+            attention: AttentionCostPolicy::Dense,
         }
+    }
+
+    /// Starts a [`CostModelBuilder`] for the given model — the preferred way
+    /// to assemble a cost model with a non-default GPU, link or attention
+    /// policy.
+    pub fn builder(model: ModelConfig) -> CostModelBuilder {
+        CostModelBuilder::new(model)
     }
 
     /// Replaces the GPU spec (builder style).
@@ -130,6 +144,12 @@ impl CostModel {
     /// Replaces the intra-instance link (builder style).
     pub fn with_intra_link(mut self, link: LinkSpec) -> Self {
         self.intra_instance_link = link;
+        self
+    }
+
+    /// Replaces the attention-cost policy (builder style).
+    pub fn with_attention(mut self, attention: AttentionCostPolicy) -> Self {
+        self.attention = attention;
         self
     }
 
@@ -153,8 +173,10 @@ impl CostModel {
         let m = &self.model;
         let gpus = parallel.total_gpus() as f64;
         let suffix = suffix as f64;
-        let extra =
-            m.attention_flops(suffix, context as f64 + suffix) - m.attention_flops(suffix, suffix);
+        let extra = self
+            .attention
+            .prefill_attention_flops(m, suffix, context as f64 + suffix)
+            - self.attention.prefill_attention_flops(m, suffix, suffix);
         extra.max(0.0) / gpus / self.gpu.effective_flops()
     }
 
@@ -182,7 +204,10 @@ impl CostModel {
         let linear_flops = m.linear_flops_per_token() * total_tokens;
         let attn_flops: f64 = input_lens
             .iter()
-            .map(|&l| m.attention_flops(l as f64, l as f64))
+            .map(|&l| {
+                self.attention
+                    .prefill_attention_flops(m, l as f64, l as f64)
+            })
             .sum();
         let linear_time = linear_flops / gpus / self.gpu.effective_flops();
         let attn_time = attn_flops / gpus / self.gpu.effective_flops();
@@ -266,7 +291,13 @@ impl CostModel {
         }
         let m = &self.model;
         let batch = context_lens.len() as f64;
-        let total_context: f64 = context_lens.iter().map(|&l| l as f64).sum();
+        // Tokens' worth of KV cache the policy actually streams per step;
+        // dense reads the full context, page-sparse decode caps each request
+        // at its token budget.
+        let kv_read_tokens: f64 = context_lens
+            .iter()
+            .map(|&l| self.attention.decode_kv_read_tokens(l as f64))
+            .sum();
 
         // Dense computation: each master handles batch/masters requests on
         // its tp GPUs; all masters run concurrently, so the critical path is
@@ -284,12 +315,12 @@ impl CostModel {
         // each instance streams roughly total/sp of it.
         let attn_flops: f64 = context_lens
             .iter()
-            .map(|&l| m.attention_flops(1.0, l as f64))
+            .map(|&l| self.attention.decode_attention_flops(m, l as f64))
             .sum();
         let attn_flops_time =
             attn_flops / (parallel.sp * parallel.tp) as f64 / self.gpu.effective_flops();
         let kv_bytes_per_gpu =
-            total_context * m.kv_bytes_per_token() / parallel.sp as f64 / parallel.tp as f64;
+            kv_read_tokens * m.kv_bytes_per_token() / parallel.sp as f64 / parallel.tp as f64;
         let kv_stream_time = kv_bytes_per_gpu / self.gpu.effective_bandwidth();
         let attn_time = attn_flops_time.max(kv_stream_time);
 
@@ -370,15 +401,19 @@ impl CostModel {
 
         // Attention: the chunk attends to the whole processed prefix; fused
         // decode requests each attend to their full context.
-        let chunk_attn = m.attention_flops(chunk, context);
+        let chunk_attn = self.attention.prefill_attention_flops(m, chunk, context);
         let decode_attn: f64 = decode_context_lens
             .iter()
-            .map(|&l| m.attention_flops(1.0, l as f64))
+            .map(|&l| self.attention.decode_attention_flops(m, l as f64))
             .sum();
         let attn_flops_time = (chunk_attn + decode_attn) / gpus / self.gpu.effective_flops();
-        // The prefix KV and the decode KV must be streamed from HBM.
-        let kv_bytes_per_gpu = (context
-            + decode_context_lens.iter().map(|&l| l as f64).sum::<f64>())
+        // The prefix KV and the decode KV must be streamed from HBM — both
+        // read sets capped by the policy.
+        let kv_bytes_per_gpu = (self.attention.chunk_kv_read_tokens(chunk, context)
+            + decode_context_lens
+                .iter()
+                .map(|&l| self.attention.decode_kv_read_tokens(l as f64))
+                .sum::<f64>())
             * m.kv_bytes_per_token()
             / gpus;
         let kv_stream_time = kv_bytes_per_gpu / self.gpu.effective_bandwidth();
@@ -433,11 +468,42 @@ impl CostModel {
     /// memory-bound (weight streaming) to compute-bound (FFN GEMMs) on a
     /// `tp`-GPU instance. The global manager uses this threshold to decide
     /// when scaling up the decode group pays off (paper §5.4).
+    ///
+    /// Context-free form: each request's marginal cost is its FFN GEMM work
+    /// alone. Equivalent to
+    /// [`Self::decode_compute_bound_batch_size_at_context`] at context 0.
     pub fn decode_compute_bound_batch_size(&self, tp: usize) -> usize {
+        self.decode_compute_bound_batch_size_at_context(tp, 0)
+            .expect("zero-context decode is always compute-bound eventually")
+    }
+
+    /// Policy-aware form of [`Self::decode_compute_bound_batch_size`]: the
+    /// batch size at which decode turns compute-bound when every request
+    /// carries `context_len` cached tokens. Each added request then also
+    /// streams its policy-capped KV read set, so long contexts raise the
+    /// threshold — and under dense attention a large enough context makes
+    /// decode *never* compute-bound (`None`), while page-sparse decode caps
+    /// the KV term at the token budget and keeps the threshold finite.
+    pub fn decode_compute_bound_batch_size_at_context(
+        &self,
+        tp: usize,
+        context_len: u64,
+    ) -> Option<usize> {
         let weight_time = self.model.weight_bytes_per_gpu(tp) / self.gpu.effective_bandwidth();
         let flops_per_token_per_gpu = self.model.linear_flops_per_token() / tp as f64;
         let time_per_token = flops_per_token_per_gpu / self.gpu.effective_flops();
-        (weight_time / time_per_token).ceil().max(1.0) as usize
+        let kv_time_per_request = self.attention.decode_kv_read_tokens(context_len as f64)
+            * self.model.kv_bytes_per_token()
+            / tp as f64
+            / self.gpu.effective_bandwidth();
+        if time_per_token <= kv_time_per_request {
+            return None;
+        }
+        Some(
+            (weight_time / (time_per_token - kv_time_per_request))
+                .ceil()
+                .max(1.0) as usize,
+        )
     }
 
     /// The number of prefill tokens per iteration beyond which a group of
@@ -450,12 +516,41 @@ impl CostModel {
     /// streamed once regardless of batch size) and the fixed per-iteration
     /// overhead, which must be amortised over enough compute to stay
     /// negligible.
+    ///
+    /// Context-free form: equivalent to
+    /// [`Self::prefill_saturation_tokens_at_context`] at context 0.
     pub fn prefill_saturation_tokens(&self, parallel: ParallelConfig) -> u64 {
+        self.prefill_saturation_tokens_at_context(parallel, 0)
+    }
+
+    /// Policy-aware form of [`Self::prefill_saturation_tokens`]: the
+    /// saturation point when each admitted token additionally attends over
+    /// `processed_context` already-processed tokens (chunked prefills,
+    /// prefix-cache suffixes). The marginal attention cost comes from the
+    /// policy, so hierarchical prefill saturates later than dense over long
+    /// prefixes (each token's attention is capped at the budget).
+    pub fn prefill_saturation_tokens_at_context(
+        &self,
+        parallel: ParallelConfig,
+        processed_context: u64,
+    ) -> u64 {
         let weight_time =
             self.model.weight_bytes_per_gpu(parallel.tp) / self.gpu.effective_bandwidth();
-        let flops_per_token_per_gpu =
-            self.model.linear_flops_per_token() / parallel.total_gpus() as f64;
-        let time_per_token = flops_per_token_per_gpu / self.gpu.effective_flops();
+        let gpus = parallel.total_gpus() as f64;
+        let flops_per_token_per_gpu = self.model.linear_flops_per_token() / gpus;
+        // Marginal attention FLOPs of one more token over the prefix, as
+        // priced by the policy; exactly zero at context 0.
+        let attn_extra = (self.attention.prefill_attention_flops(
+            &self.model,
+            1.0,
+            processed_context as f64 + 1.0,
+        ) - self
+            .attention
+            .prefill_attention_flops(&self.model, 1.0, 1.0))
+        .max(0.0);
+        let attn_per_token_per_gpu = attn_extra / gpus;
+        let time_per_token =
+            (flops_per_token_per_gpu + attn_per_token_per_gpu) / self.gpu.effective_flops();
         let roofline_tokens = (weight_time / time_per_token).ceil().max(1.0);
         let fixed_overhead = self.per_iteration_overhead_s
             + self.model.num_layers as f64 * self.gpu.per_layer_overhead_s;
@@ -475,6 +570,7 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attention::PageSparseDecode;
 
     fn model() -> CostModel {
         CostModel::new(ModelConfig::lwm_1m_text())
@@ -702,5 +798,126 @@ mod tests {
     fn parallel_config_label() {
         assert_eq!(ParallelConfig::new(2, 4).label(), "SP4TP2");
         assert_eq!(ParallelConfig::new(8, 1).total_gpus(), 8);
+    }
+
+    #[test]
+    fn sparse_decode_flattens_long_context_cost() {
+        // The headline LServe effect: with page-sparse decode, decode cost
+        // saturates at the token budget instead of growing linearly.
+        let dense = model();
+        let sparse = model().with_attention(AttentionCostPolicy::page_sparse());
+        let p = ParallelConfig::new(2, 4);
+        let d100k = dense.decode_cost(&[100_000], p, 1, nvlink()).total();
+        let s100k = sparse.decode_cost(&[100_000], p, 1, nvlink()).total();
+        let s800k = sparse.decode_cost(&[800_000], p, 1, nvlink()).total();
+        assert!(s100k < d100k, "sparse {s100k} should beat dense {d100k}");
+        // Flat beyond the budget: 8x the context, ~same cost.
+        assert!(
+            (s800k - s100k).abs() / s100k < 0.01,
+            "sparse decode not flat: {s100k} vs {s800k}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_prefill_cheapens_long_prompts() {
+        let dense = model();
+        let sparse = model().with_attention(AttentionCostPolicy::hierarchical());
+        let p = ParallelConfig::new(8, 1);
+        let d = dense.prefill_cost(&[500_000], p, nvlink()).total();
+        let s = sparse.prefill_cost(&[500_000], p, nvlink()).total();
+        assert!(s < d / 2.0, "hierarchical {s} vs dense {d}");
+        // Short prompts are unchanged (under the budget the policy is dense).
+        let d_short = dense.prefill_cost(&[2_000], p, nvlink()).total();
+        let s_short = sparse.prefill_cost(&[2_000], p, nvlink()).total();
+        assert_eq!(d_short, s_short);
+    }
+
+    #[test]
+    fn sparse_policies_never_exceed_dense_iteration_cost() {
+        let dense = model();
+        let p = ParallelConfig::new(2, 4);
+        for policy in AttentionCostPolicy::ablation_set() {
+            let cm = model().with_attention(policy);
+            for lens in [vec![1_000u64; 8], vec![200_000], vec![64; 256]] {
+                assert!(
+                    cm.prefill_cost(&lens, p, nvlink()).total()
+                        <= dense.prefill_cost(&lens, p, nvlink()).total() + 1e-12
+                );
+                assert!(
+                    cm.decode_cost(&lens, p, 2, nvlink()).total()
+                        <= dense.decode_cost(&lens, p, 2, nvlink()).total() + 1e-12
+                );
+                assert!(
+                    cm.chunked_prefill_cost(2_000, 100_000, &lens, p, nvlink())
+                        .total()
+                        <= dense
+                            .chunked_prefill_cost(2_000, 100_000, &lens, p, nvlink())
+                            .total()
+                            + 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_aware_thresholds_delegate_at_zero() {
+        let cm = model();
+        assert_eq!(
+            cm.decode_compute_bound_batch_size(2),
+            cm.decode_compute_bound_batch_size_at_context(2, 0).unwrap()
+        );
+        let p = ParallelConfig::new(2, 4);
+        assert_eq!(
+            cm.prefill_saturation_tokens(p),
+            cm.prefill_saturation_tokens_at_context(p, 0)
+        );
+    }
+
+    #[test]
+    fn dense_long_context_decode_never_compute_bound() {
+        // At 1M-token contexts the dense KV stream per added request exceeds
+        // the marginal GEMM time: decode stays memory-bound at any batch
+        // size, so the threshold is None.
+        let cm = model();
+        assert_eq!(
+            cm.decode_compute_bound_batch_size_at_context(2, 1_000_000),
+            None
+        );
+        // Short contexts raise the threshold but keep it finite.
+        let at0 = cm.decode_compute_bound_batch_size_at_context(2, 0).unwrap();
+        let at200 = cm
+            .decode_compute_bound_batch_size_at_context(2, 200)
+            .unwrap();
+        assert!(at200 > at0, "KV streaming should raise the threshold");
+        // Page-sparse decode caps the KV read at the token budget, so its
+        // threshold is *flat* in context beyond the budget (for LWM's MHA
+        // KV the capped read still exceeds the marginal GEMM time at TP2,
+        // so both sides are None — the point is they are equal).
+        let sparse = model().with_attention(AttentionCostPolicy::page_sparse());
+        let budget = PageSparseDecode::lserve().token_budget() as u64;
+        assert_eq!(
+            sparse.decode_compute_bound_batch_size_at_context(2, budget),
+            sparse.decode_compute_bound_batch_size_at_context(2, 1_000_000)
+        );
+    }
+
+    #[test]
+    fn saturation_tokens_shrink_with_processed_context() {
+        // The more prefix each token attends over, the sooner an iteration
+        // saturates; hierarchical prefill caps the effect at its budget.
+        let cm = model();
+        let p = ParallelConfig::new(2, 4);
+        let at0 = cm.prefill_saturation_tokens_at_context(p, 0);
+        let at500k = cm.prefill_saturation_tokens_at_context(p, 500_000);
+        assert!(
+            at500k < at0,
+            "dense saturation should shrink: {at500k} vs {at0}"
+        );
+        let sparse = model().with_attention(AttentionCostPolicy::hierarchical());
+        let sparse500k = sparse.prefill_saturation_tokens_at_context(p, 500_000);
+        assert!(
+            sparse500k >= at500k,
+            "hierarchical ({sparse500k}) should saturate no sooner than dense ({at500k})"
+        );
     }
 }

@@ -246,7 +246,14 @@ fn saturation_tokens(view: &SchedulerView<'_>, instances: usize) -> u64 {
     let parallel = ParallelConfig::new(view.registry.tp(), instances.max(1));
     view.sib
         .saturation_tokens(parallel)
-        .unwrap_or_else(|| view.cost_model.prefill_saturation_tokens(parallel))
+        // Fresh prompts attend over no prior prefix, so the dispatcher asks
+        // the policy-aware roofline at processed context 0 (any policy's
+        // attention term vanishes there; sparsity shows up through the SIB
+        // profile and the per-batch cost predictions instead).
+        .unwrap_or_else(|| {
+            view.cost_model
+                .prefill_saturation_tokens_at_context(parallel, 0)
+        })
         // The tipping point is a lower bound on useful batch size; always
         // allow at least one request through.
         .max(1)

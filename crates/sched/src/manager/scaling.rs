@@ -120,8 +120,14 @@ pub fn plan_decode_groups(
         .sib
         .decode_threshold(view.registry.tp())
         .unwrap_or_else(|| {
+            // Context 0 = the pure-GEMM threshold: the classic §5.4 trigger.
+            // The policy-aware form exists for experiments that want the
+            // KV-stream term included; dense long contexts make it `None`
+            // (never compute-bound), so the trigger conservatively keeps the
+            // context-free bound here.
             view.cost_model
-                .decode_compute_bound_batch_size(view.registry.tp())
+                .decode_compute_bound_batch_size_at_context(view.registry.tp(), 0)
+                .expect("context-free decode threshold is always finite")
         });
 
     let mut plans = Vec::new();

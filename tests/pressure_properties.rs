@@ -181,6 +181,7 @@ fn armed_but_unpressured_engine_is_bit_for_bit_the_plain_engine() {
             )),
             kv_capacity_override: None,
             prefix_cache: None,
+            attention: system.attention,
         };
         let scheduler = Box::new(LoongServeScheduler::new().with_pressure(conservative));
         ServingEngine::new(config, scheduler)
@@ -355,6 +356,7 @@ fn swap_policy_with_tiny_host_falls_back_to_recompute_and_still_terminates() {
         host_swap: Some(HostSwapConfig::with_tokens(&system.cluster, 600)),
         kv_capacity_override: Some(1_500),
         prefix_cache: None,
+        attention: system.attention,
     };
     let registry = InstanceRegistry::build(&system.cluster, tp);
     let scheduler = SystemKind::LoongServe.build_pressure_scheduler(
